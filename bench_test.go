@@ -1,0 +1,423 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablations called out in DESIGN.md §4. Each artifact bench reports its
+// headline measured value via b.ReportMetric so a bench run doubles as an
+// experiment log (compare against EXPERIMENTS.md).
+//
+// The passive aggregate is simulated once per process (studyAggregate) at
+// study scale; artifact benches then measure regeneration from it. The
+// end-to-end pipeline cost is measured separately by the simulation benches.
+package tlsage
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/clientdb"
+	"tlsage/internal/core"
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/handshake"
+	"tlsage/internal/notary"
+	"tlsage/internal/population"
+	"tlsage/internal/registry"
+	"tlsage/internal/scanner"
+	"tlsage/internal/serverfarm"
+	"tlsage/internal/simulate"
+	"tlsage/internal/timeline"
+)
+
+var (
+	benchOnce sync.Once
+	benchAgg  *notary.Aggregate
+)
+
+func studyAggregate(b *testing.B) *notary.Aggregate {
+	b.Helper()
+	benchOnce.Do(func() {
+		sim := simulate.New(simulate.DefaultOptions(800))
+		var err error
+		benchAgg, err = sim.RunAggregate()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchAgg
+}
+
+// monthVal extracts a series value for metric reporting.
+func monthVal(fig analysis.Figure, series string, y int, m time.Month) float64 {
+	s, ok := fig.SeriesByName(series)
+	if !ok {
+		return -1
+	}
+	v, _ := s.Value(timeline.M(y, m))
+	return v
+}
+
+// --- Tables ---
+
+func BenchmarkTable1VersionDates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.Table1()
+		if len(rows) != 6 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkTable2FingerprintSummary(b *testing.B) {
+	agg := studyAggregate(b)
+	db := fingerprint.BuildDefault()
+	b.ResetTimer()
+	var rep analysis.Table2Report
+	for i := 0; i < b.N; i++ {
+		rep = analysis.BuildTable2(agg, db)
+	}
+	b.ReportMetric(rep.TotalCoverage, "coverage_pct_paper_69.23")
+	b.ReportMetric(float64(rep.TotalFPs), "fingerprints_paper_1562")
+}
+
+func benchBrowserTable(b *testing.B, build func() []clientdb.TableRow, wantRows int) {
+	b.Helper()
+	var rows []clientdb.TableRow
+	for i := 0; i < b.N; i++ {
+		rows = build()
+	}
+	if len(rows) < wantRows {
+		b.Fatalf("only %d rows", len(rows))
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+func BenchmarkTable3BrowserCBC(b *testing.B)  { benchBrowserTable(b, core.Table3, 15) }
+func BenchmarkTable4BrowserRC4(b *testing.B)  { benchBrowserTable(b, core.Table4, 10) }
+func BenchmarkTable5Browser3DES(b *testing.B) { benchBrowserTable(b, core.Table5, 6) }
+
+func BenchmarkTable6BrowserVersions(b *testing.B) {
+	var rows []clientdb.VersionSupportRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Table6()
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1NegotiatedVersions(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure1Versions(agg)
+	}
+	b.ReportMetric(monthVal(fig, "TLSv12", 2018, time.February), "tls12_feb18_pct_paper_90")
+	b.ReportMetric(monthVal(fig, "TLSv10", 2018, time.February), "tls10_feb18_pct_paper_2.8")
+}
+
+func BenchmarkFigure2NegotiatedModes(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure2NegotiatedClasses(agg)
+	}
+	b.ReportMetric(monthVal(fig, "RC4", 2013, time.August), "rc4_aug13_pct_paper_60")
+	b.ReportMetric(monthVal(fig, "AEAD", 2018, time.March), "aead_mar18_pct_paper_90")
+}
+
+func BenchmarkFigure3AdvertisedModes(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure3Advertised(agg)
+	}
+	b.ReportMetric(monthVal(fig, "3DES", 2018, time.March), "tdes_mar18_pct_paper_69")
+}
+
+func BenchmarkFigure4FingerprintModes(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure4FingerprintClasses(agg)
+	}
+	b.ReportMetric(monthVal(fig, "RC4", 2018, time.March), "fp_rc4_mar18_pct_paper_39.9")
+}
+
+func BenchmarkFigure5CipherPositions(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure5Positions(agg)
+	}
+	b.ReportMetric(monthVal(fig, "AEAD", 2016, time.June), "aead_pos_jun16_pct")
+	b.ReportMetric(monthVal(fig, "3DES", 2016, time.June), "tdes_pos_jun16_pct")
+}
+
+func BenchmarkFigure6RC4Advertised(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure6RC4Advertised(agg)
+	}
+	b.ReportMetric(monthVal(fig, "RC4 advertised", 2018, time.March), "rc4_adv_mar18_pct_paper_10")
+}
+
+func BenchmarkFigure7WeakCiphers(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure7WeakAdvertised(agg)
+	}
+	b.ReportMetric(monthVal(fig, "Export", 2012, time.June), "export_jun12_pct_paper_28.19")
+	b.ReportMetric(monthVal(fig, "Anonymous", 2015, time.July), "anon_jul15_pct_paper_12.9")
+}
+
+func BenchmarkFigure8ForwardSecrecy(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure8Kex(agg)
+	}
+	b.ReportMetric(monthVal(fig, "ECDHE", 2018, time.March), "ecdhe_mar18_pct_paper_85")
+	b.ReportMetric(monthVal(fig, "RSA", 2012, time.June), "rsa_jun12_pct_paper_60")
+}
+
+func BenchmarkFigure9AEADNegotiated(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure9AEADNegotiated(agg)
+	}
+	b.ReportMetric(monthVal(fig, "ChaCha20-Poly1305", 2018, time.March), "chacha_mar18_pct_paper_1.7")
+}
+
+func BenchmarkFigure10AEADAdvertised(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = analysis.Figure10AEADAdvertised(agg)
+	}
+	b.ReportMetric(monthVal(fig, "AES128-GCM", 2018, time.March), "gcm128_adv_mar18_pct")
+}
+
+// --- Active-scan scalars (S1–S4): real TCP farm sweeps ---
+
+func runCampaign(b *testing.B, date timeline.Date, hosts int) *core.CampaignReport {
+	b.Helper()
+	c := &core.ScanCampaign{Date: date, Hosts: hosts, Workers: 32, Seed: 7, Timeout: 3 * time.Second}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func BenchmarkScalarSSL3ServerSupport(b *testing.B) {
+	var rep *core.CampaignReport
+	for i := 0; i < b.N; i++ {
+		rep = runCampaign(b, timeline.D(2018, time.May, 13), 200)
+	}
+	b.ReportMetric(rep.SSL3SupportPct(), "ssl3_may18_pct_paper_25")
+}
+
+func BenchmarkScalarRC4ServerChoice(b *testing.B) {
+	var rep *core.CampaignReport
+	for i := 0; i < b.N; i++ {
+		rep = runCampaign(b, timeline.D(2015, time.September, 15), 200)
+	}
+	b.ReportMetric(rep.RC4ChosenPct(), "rc4_sep15_pct_paper_11.2")
+	b.ReportMetric(rep.CBCChosenPct(), "cbc_sep15_pct_paper_54")
+}
+
+func BenchmarkScalarHeartbleed(b *testing.B) {
+	var rep *core.CampaignReport
+	for i := 0; i < b.N; i++ {
+		rep = runCampaign(b, timeline.D(2018, time.May, 13), 200)
+	}
+	b.ReportMetric(rep.HeartbeatSupportPct(), "heartbeat_may18_pct_paper_34")
+	b.ReportMetric(rep.HeartbleedVulnerablePct(), "vulnerable_may18_pct_paper_0.32")
+}
+
+func BenchmarkScalar3DESServerChoice(b *testing.B) {
+	var rep *core.CampaignReport
+	for i := 0; i < b.N; i++ {
+		rep = runCampaign(b, timeline.D(2015, time.September, 15), 400)
+	}
+	b.ReportMetric(rep.TDESChosenPct(), "tdes_sep15_pct_paper_0.54")
+}
+
+// --- Passive scalars (S5–S7) ---
+
+func BenchmarkScalarFingerprintDurations(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var st fingerprint.DurationStats
+	for i := 0; i < b.N; i++ {
+		st = fingerprint.ComputeDurationStats(agg.FPDurations())
+	}
+	b.ReportMetric(st.MedianDays, "median_days_paper_1")
+	b.ReportMetric(float64(st.SingleDay), "single_day_fps")
+}
+
+func BenchmarkScalarCurveShares(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var shares []analysis.CurveShare
+	for i := 0; i < b.N; i++ {
+		shares = analysis.CurveSharesOverall(agg)
+	}
+	if len(shares) == 0 || shares[0].Curve != registry.CurveSecp256r1 {
+		b.Fatal("curve shares wrong")
+	}
+	b.ReportMetric(shares[0].Share, "secp256r1_pct_paper_84.4")
+}
+
+func BenchmarkScalarTLS13(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ResetTimer()
+	var scalars []analysis.Scalar
+	for i := 0; i < b.N; i++ {
+		scalars = analysis.PassiveScalars(agg)
+	}
+	for _, s := range scalars {
+		if s.ID == "S7c" {
+			b.ReportMetric(s.Measured, "tls13_support_apr18_pct_paper_23.6")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// Ablation 1: wire-level simulation vs struct-level fast path.
+func benchSimulate(b *testing.B, wireLevel bool) {
+	opts := simulate.DefaultOptions(100)
+	opts.End = timeline.M(2013, time.December)
+	opts.WireLevel = wireLevel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		if _, err := simulate.New(opts).RunAggregate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSimWireLevel(b *testing.B)   { benchSimulate(b, true) }
+func BenchmarkAblationSimStructLevel(b *testing.B) { benchSimulate(b, false) }
+
+// Ablation 2: fingerprinting with GREASE stripping vs a pre-stripped list.
+func BenchmarkAblationFingerprintGREASE(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	chrome, _ := clientdb.ProfileByName("Chrome")
+	rel, _ := chrome.ReleaseByVersion("65")
+	hello := rel.Config.BuildHello(rnd, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fingerprint.FromClientHello(hello)
+	}
+}
+
+func BenchmarkAblationFingerprintNoGREASE(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	ff, _ := clientdb.ProfileByName("Firefox")
+	rel, _ := ff.ReleaseByVersion("44")
+	hello := rel.Config.BuildHello(rnd, false) // Firefox sends no GREASE
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fingerprint.FromClientHello(hello)
+	}
+}
+
+// Ablation 3: scanner worker-pool width against a fixed farm.
+func benchScanWorkers(b *testing.B, workers int) {
+	cfg := scanner.Chrome2015()
+	hello := cfg.Build(rand.New(rand.NewSource(2)))
+	farmCfgs, cohorts := sampleFarmConfigs(64)
+	farm, err := serverfarm.StartFarm(farmCfgs, cohorts, 3*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer farm.Close()
+	sc := scanner.New(workers)
+	sc.Timeout = 3 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sc.Scan(context.Background(), farm.Addrs(), hello)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 64 {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+func BenchmarkAblationScanWorkers1(b *testing.B)  { benchScanWorkers(b, 1) }
+func BenchmarkAblationScanWorkers8(b *testing.B)  { benchScanWorkers(b, 8) }
+func BenchmarkAblationScanWorkers32(b *testing.B) { benchScanWorkers(b, 32) }
+
+// Ablation 4: streaming aggregation vs post-hoc log scan.
+func BenchmarkAblationAggStreaming(b *testing.B) {
+	opts := simulate.DefaultOptions(100)
+	opts.End = timeline.M(2012, time.December)
+	for i := 0; i < b.N; i++ {
+		if _, err := simulate.New(opts).RunAggregate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAggPostHoc(b *testing.B) {
+	opts := simulate.DefaultOptions(100)
+	opts.End = timeline.M(2012, time.December)
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		done := make(chan error, 1)
+		go func() {
+			lw := notary.NewLogWriter(pw)
+			err := simulate.New(opts).Run(func(r *notary.Record) { _ = lw.Write(r) })
+			if err == nil {
+				err = lw.Flush()
+			}
+			pw.CloseWithError(err)
+			done <- err
+		}()
+		agg := notary.NewAggregate()
+		if err := notary.ReadLog(pr, func(r notary.Record) error {
+			agg.Add(&r)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sampleFarmConfigs draws deterministic host configs for the worker ablation.
+func sampleFarmConfigs(n int) ([]*handshake.ServerConfig, []string) {
+	rnd := rand.New(rand.NewSource(9))
+	servers := population.DefaultServers()
+	date := timeline.D(2016, time.June, 15)
+	cfgs := make([]*handshake.ServerConfig, n)
+	cohorts := make([]string, n)
+	for i := 0; i < n; i++ {
+		cohort, cfg := servers.Sample(date, population.ByHosts, rnd)
+		cfgs[i] = cfg
+		cohorts[i] = cohort.Name
+	}
+	return cfgs, cohorts
+}

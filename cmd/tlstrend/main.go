@@ -1,0 +1,414 @@
+// Command tlstrend reproduces the measurements of "Coming of Age: A
+// Longitudinal Study of TLS Deployment" (IMC 2018) over the synthetic
+// ecosystem.
+//
+// Usage:
+//
+//	tlstrend simulate   [-conns N] [-seed S] [-out conn.log]   run the passive study, optionally writing a TSV log
+//	tlstrend figure     [-n N] [-conns N] [-chart]             print one figure (1–10) as table or chart
+//	tlstrend figures    [-conns N]                             print all figures
+//	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
+//	tlstrend table2     [-conns N]                             print the Table 2 reproduction
+//	tlstrend scan       [-hosts N] [-date YYYY-MM-DD]          run an active scan campaign over a local farm
+//	tlstrend scansweep  [-hosts N] [-step M] [-alexa]          campaigns across the Censys window
+//	tlstrend fingerprints [-conns N]                           fingerprint DB summary and §4.1 lifetimes
+//	tlstrend extensions [-conns N] [-chart]                    extension uptake + TLS 1.3 variants
+//	tlstrend experiments [-conns N] [-hosts N]                 full paper-vs-measured report
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/core"
+	"tlsage/internal/timeline"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "simulate":
+		err = cmdSimulate(args)
+	case "figure":
+		err = cmdFigure(args)
+	case "figures":
+		err = cmdFigures(args)
+	case "table":
+		err = cmdTable(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "scan":
+		err = cmdScan(args)
+	case "scansweep":
+		err = cmdScanSweep(args)
+	case "fingerprints":
+		err = cmdFingerprints(args)
+	case "extensions":
+		err = cmdExtensions(args)
+	case "experiments":
+		err = cmdExperiments(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tlstrend: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlstrend:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `tlstrend — reproduce "Coming of Age: A Longitudinal Study of TLS Deployment"
+
+commands:
+  simulate      run the passive Notary study (optionally write a TSV log)
+  figure        print one figure (1–10) as a table or ASCII chart
+  figures       print every figure
+  table         print Table 1, 3, 4, 5 or 6
+  table2        print the Table 2 fingerprint-summary reproduction
+  scan          run an active Censys-style campaign over a local TCP farm
+  scansweep     run campaigns across Aug 2015 – May 2018 (the Censys window)
+  fingerprints  fingerprint database summary and §4.1 lifetime stats
+  extensions    extension-uptake figure (RIE, EtM, EMS, ...) and TLS 1.3 variants
+  experiments   full paper-vs-measured report (passive + active + fingerprints)
+`)
+}
+
+func runStudy(conns int, seed int64, logPath string) (*core.Study, error) {
+	s := core.NewStudy(conns)
+	s.Options.Seed = seed
+	var out *os.File
+	var err error
+	if logPath != "" {
+		out, err = os.Create(logPath)
+		if err != nil {
+			return nil, err
+		}
+		defer out.Close()
+	}
+	start := time.Now()
+	if out != nil {
+		err = s.Run(out)
+	} else {
+		err = s.Run(nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "simulated %d connections in %v\n",
+		s.Aggregate().TotalRecords(), time.Since(start).Round(time.Millisecond))
+	return s, nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	conns := fs.Int("conns", 1000, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("out", "", "write a Bro-style TSV connection log to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, *out)
+	if err != nil {
+		return err
+	}
+	scalars, err := s.Scalars()
+	if err != nil {
+		return err
+	}
+	return analysis.RenderScalars(os.Stdout, "Passive study scalars (paper vs measured)", scalars)
+}
+
+func cmdFigure(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	n := fs.Int("n", 1, "figure number (1–10)")
+	conns := fs.Int("conns", 600, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	chart := fs.Bool("chart", false, "render an ASCII chart instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	fig, err := s.Figure(*n)
+	if err != nil {
+		return err
+	}
+	if *chart {
+		return fig.RenderChart(os.Stdout, 100, 20)
+	}
+	return fig.RenderTable(os.Stdout)
+}
+
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	conns := fs.Int("conns", 600, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	figs, err := s.Figures()
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		if err := fig.RenderChart(os.Stdout, 100, 16); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	n := fs.Int("n", 3, "table number (1, 3, 4, 5 or 6)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *n {
+	case 1:
+		fmt.Println("Table 1 — Release dates of all SSL/TLS versions")
+		for _, r := range core.Table1() {
+			fmt.Printf("%-8s %04d-%02d\n", r.Name, r.Date.Year, r.Date.Month)
+		}
+	case 3:
+		fmt.Println("Table 3 — Changes in the number of CBC ciphersuites offered by major browsers")
+		for _, r := range core.Table3() {
+			fmt.Println(r)
+		}
+	case 4:
+		fmt.Println("Table 4 — Changes in the support of RC4 ciphersuites by major browsers")
+		for _, r := range core.Table4() {
+			fmt.Println(r)
+		}
+	case 5:
+		fmt.Println("Table 5 — Changes in the number of 3DES ciphersuites offered by major browsers")
+		for _, r := range core.Table5() {
+			fmt.Println(r)
+		}
+	case 6:
+		fmt.Println("Table 6 — Browser TLS version support")
+		for _, r := range core.Table6() {
+			fmt.Println(r)
+		}
+	default:
+		return fmt.Errorf("no table %d (Table 2 has its own subcommand)", *n)
+	}
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	conns := fs.Int("conns", 600, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	rep, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	return rep.RenderTable2(os.Stdout)
+}
+
+func parseDate(s string) (timeline.Date, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return timeline.Date{}, fmt.Errorf("bad date %q (want YYYY-MM-DD)", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 || d < 1 || d > 31 {
+		return timeline.Date{}, fmt.Errorf("bad date %q", s)
+	}
+	return timeline.D(y, time.Month(m), d), nil
+}
+
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	hosts := fs.Int("hosts", 300, "farm size")
+	workers := fs.Int("workers", 24, "scanner workers")
+	seed := fs.Int64("seed", 7, "population seed")
+	dateStr := fs.String("date", "2018-05-13", "population snapshot date")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	date, err := parseDate(*dateStr)
+	if err != nil {
+		return err
+	}
+	c := &core.ScanCampaign{Date: date, Hosts: *hosts, Workers: *workers, Seed: *seed}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Scan campaign at %s over %d hosts\n", rep.Date, rep.Hosts)
+	fmt.Printf("  SSL3 support:        %6.2f%%\n", rep.SSL3SupportPct())
+	fmt.Printf("  chose RC4:           %6.2f%%\n", rep.RC4ChosenPct())
+	fmt.Printf("  chose CBC:           %6.2f%%\n", rep.CBCChosenPct())
+	fmt.Printf("  chose 3DES:          %6.2f%%\n", rep.TDESChosenPct())
+	fmt.Printf("  heartbeat support:   %6.2f%%\n", rep.HeartbeatSupportPct())
+	fmt.Printf("  Heartbleed vuln.:    %6.2f%%\n", rep.HeartbleedVulnerablePct())
+	fmt.Printf("  export support:      %6.2f%%\n", rep.ExportSupportPct())
+	fmt.Printf("  RC4 supported:       %6.2f%%\n", rep.RC4SupportPct())
+	fmt.Printf("  Heartbleed leak:     %d bytes over-read across %d hosts\n", rep.LeakedBytes, rep.VulnerableHosts)
+	return nil
+}
+
+func cmdScanSweep(args []string) error {
+	fs := flag.NewFlagSet("scansweep", flag.ExitOnError)
+	hosts := fs.Int("hosts", 150, "farm size per snapshot")
+	step := fs.Int("step", 3, "months between snapshots")
+	workers := fs.Int("workers", 24, "scanner workers")
+	seed := fs.Int64("seed", 7, "population seed")
+	alexa := fs.Bool("alexa", false, "popularity-weighted (Alexa-style) universe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sweep := &core.ScanSweep{
+		StepMonths:         *step,
+		HostsPerSnapshot:   *hosts,
+		Workers:            *workers,
+		Seed:               *seed,
+		PopularityWeighted: *alexa,
+	}
+	points, err := sweep.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	return core.RenderSweep(os.Stdout, points)
+}
+
+func cmdFingerprints(args []string) error {
+	fs := flag.NewFlagSet("fingerprints", flag.ExitOnError)
+	conns := fs.Int("conns", 600, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	rep, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	if err := rep.RenderTable2(os.Stdout); err != nil {
+		return err
+	}
+	st, err := s.FingerprintDurations()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n§4.1 fingerprint lifetimes: %d fingerprints, median %.0f d, mean %.1f d, q3 %.0f d, σ %.1f d, max %d d\n",
+		st.Total, st.MedianDays, st.MeanDays, st.Q3Days, st.StdDevDays, st.MaxDays)
+	fmt.Printf("  single-day: %d (%.1f%%), carrying %d of %d connections\n",
+		st.SingleDay, 100*float64(st.SingleDay)/float64(st.Total), st.SingleDayConns, st.TotalConns)
+	fmt.Printf("  seen >1200 days: %d, carrying %d connections\n", st.LongLived, st.LongLivedConns)
+	return nil
+}
+
+func cmdExtensions(args []string) error {
+	fs := flag.NewFlagSet("extensions", flag.ExitOnError)
+	conns := fs.Int("conns", 600, "connections per month")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	chart := fs.Bool("chart", false, "render an ASCII chart instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	fig, err := s.ExtensionFigure()
+	if err != nil {
+		return err
+	}
+	if *chart {
+		if err := fig.RenderChart(os.Stdout, 100, 18); err != nil {
+			return err
+		}
+	} else if err := fig.RenderTable(os.Stdout); err != nil {
+		return err
+	}
+	shares, err := s.TLS13Variants()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAdvertised TLS 1.3 variants (paper: 0x7e02 82.3%, draft-18 13.4%):")
+	for _, v := range shares {
+		fmt.Printf("  %-16v %6.1f%%\n", v.Variant, v.Share)
+	}
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	conns := fs.Int("conns", 1500, "connections per month")
+	hosts := fs.Int("hosts", 400, "scan farm size")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := runStudy(*conns, *seed, "")
+	if err != nil {
+		return err
+	}
+	scalars, err := s.Scalars()
+	if err != nil {
+		return err
+	}
+	if err := analysis.RenderScalars(os.Stdout, "Passive study (Notary substitute)", scalars); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	run := func(d timeline.Date) (*core.CampaignReport, error) {
+		c := &core.ScanCampaign{Date: d, Hosts: *hosts, Workers: 24, Seed: *seed}
+		return c.Run(context.Background())
+	}
+	sep15, err := run(timeline.D(2015, time.September, 15))
+	if err != nil {
+		return err
+	}
+	may18, err := run(timeline.D(2018, time.May, 13))
+	if err != nil {
+		return err
+	}
+	if err := analysis.RenderScalars(os.Stdout, "Active scans (Censys substitute)", core.ScanScalars(sep15, may18)); err != nil {
+		return err
+	}
+	fmt.Println()
+	rep, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	return rep.RenderTable2(os.Stdout)
+}

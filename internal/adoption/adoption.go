@@ -1,0 +1,173 @@
+// Package adoption models how populations take up (or abandon) software
+// versions and configurations over time. It is the quantitative heart of the
+// reproduction: every "slow to drop support" long-tail effect the paper
+// reports (§4.1, §7.2) emerges from the lag distributions defined here
+// rather than from hand-drawn curves.
+//
+// Three primitives cover everything the population models need:
+//
+//   - Curve: a deterministic share-over-time function in [0,1], with
+//     constant, linear-ramp, piecewise-linear, logistic and exponential-decay
+//     implementations.
+//   - LagDistribution: the CDF of "time from release to user upgrade",
+//     mixing fast updaters (browsers with auto-update), slow updaters
+//     (OS-bundled libraries) and a never-updating remnant (abandoned
+//     devices).
+//   - VersionMix: given a product's release history and a LagDistribution,
+//     the share of the installed base on each version at any date.
+package adoption
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tlsage/internal/timeline"
+)
+
+// Curve is a deterministic time-varying share in [0,1].
+type Curve interface {
+	// Value returns the share at date d, always within [0,1].
+	Value(d timeline.Date) float64
+}
+
+// Constant is a Curve pinned at a fixed share.
+type Constant float64
+
+// Value implements Curve.
+func (c Constant) Value(timeline.Date) float64 { return clamp01(float64(c)) }
+
+// Ramp interpolates linearly from StartValue at Start to EndValue at End and
+// holds the endpoint values outside the window.
+type Ramp struct {
+	Start, End           timeline.Date
+	StartValue, EndValue float64
+}
+
+// Value implements Curve.
+func (r Ramp) Value(d timeline.Date) float64 {
+	total := r.End.DaysSince(r.Start)
+	if total <= 0 {
+		if d.Before(r.Start) {
+			return clamp01(r.StartValue)
+		}
+		return clamp01(r.EndValue)
+	}
+	elapsed := d.DaysSince(r.Start)
+	switch {
+	case elapsed <= 0:
+		return clamp01(r.StartValue)
+	case elapsed >= total:
+		return clamp01(r.EndValue)
+	}
+	frac := float64(elapsed) / float64(total)
+	return clamp01(r.StartValue + frac*(r.EndValue-r.StartValue))
+}
+
+// Point is one knot of a piecewise-linear curve.
+type Point struct {
+	Date  timeline.Date
+	Value float64
+}
+
+// Piecewise interpolates linearly between knots, holding the first and last
+// values outside the knot range. Construct with NewPiecewise, which sorts
+// and validates.
+type Piecewise struct {
+	points []Point
+}
+
+// NewPiecewise builds a piecewise-linear curve from at least one knot.
+func NewPiecewise(points ...Point) (*Piecewise, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("adoption: piecewise curve needs at least one point")
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Date.Before(sorted[j].Date) })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Date == sorted[i-1].Date {
+			return nil, fmt.Errorf("adoption: duplicate knot date %v", sorted[i].Date)
+		}
+	}
+	return &Piecewise{points: sorted}, nil
+}
+
+// MustPiecewise is NewPiecewise panicking on error, for static tables.
+func MustPiecewise(points ...Point) *Piecewise {
+	p, err := NewPiecewise(points...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Value implements Curve.
+func (p *Piecewise) Value(d timeline.Date) float64 {
+	pts := p.points
+	if d.Before(pts[0].Date) {
+		return clamp01(pts[0].Value)
+	}
+	last := pts[len(pts)-1]
+	if d.AtOrAfter(last.Date) {
+		return clamp01(last.Value)
+	}
+	// Invariant: pts[i].Date ≤ d < pts[i+1].Date for some i.
+	i := sort.Search(len(pts), func(i int) bool { return d.Before(pts[i].Date) }) - 1
+	a, b := pts[i], pts[i+1]
+	span := b.Date.DaysSince(a.Date)
+	frac := float64(d.DaysSince(a.Date)) / float64(span)
+	return clamp01(a.Value + frac*(b.Value-a.Value))
+}
+
+// Logistic is an S-shaped uptake curve: Floor before the transition,
+// rising to Ceil with midpoint Mid and a characteristic width of SlopeDays
+// (days from 12% to 88% of the transition ≈ 4·SlopeDays/2).
+type Logistic struct {
+	Mid        timeline.Date
+	SlopeDays  float64
+	Floor, Cei float64
+}
+
+// Value implements Curve.
+func (l Logistic) Value(d timeline.Date) float64 {
+	if l.SlopeDays <= 0 {
+		if d.Before(l.Mid) {
+			return clamp01(l.Floor)
+		}
+		return clamp01(l.Cei)
+	}
+	x := float64(d.DaysSince(l.Mid)) / l.SlopeDays
+	s := 1 / (1 + math.Exp(-x))
+	return clamp01(l.Floor + (l.Cei-l.Floor)*s)
+}
+
+// Decay is an exponential decline from From toward To starting at Start,
+// with the given half-life. Before Start it holds From. This models
+// post-attack patch rollouts (fast half-life, e.g. Heartbleed) and long-tail
+// abandonment (multi-year half-life, e.g. SSL 3 server support).
+type Decay struct {
+	Start        timeline.Date
+	From, To     float64
+	HalfLifeDays float64
+}
+
+// Value implements Curve.
+func (c Decay) Value(d timeline.Date) float64 {
+	if d.Before(c.Start) || c.HalfLifeDays <= 0 {
+		return clamp01(c.From)
+	}
+	elapsed := float64(d.DaysSince(c.Start))
+	rem := math.Exp2(-elapsed / c.HalfLifeDays)
+	return clamp01(c.To + (c.From-c.To)*rem)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,243 @@
+package adoption
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tlsage/internal/timeline"
+)
+
+func d(y int, m time.Month, day int) timeline.Date { return timeline.D(y, m, day) }
+
+func TestConstant(t *testing.T) {
+	if Constant(0.4).Value(d(2015, 1, 1)) != 0.4 {
+		t.Error("constant broken")
+	}
+	if Constant(1.7).Value(d(2015, 1, 1)) != 1 || Constant(-3).Value(d(2015, 1, 1)) != 0 {
+		t.Error("constant clamping broken")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{Start: d(2014, 1, 1), End: d(2015, 1, 1), StartValue: 0, EndValue: 1}
+	if r.Value(d(2013, 6, 1)) != 0 {
+		t.Error("before start")
+	}
+	if r.Value(d(2016, 1, 1)) != 1 {
+		t.Error("after end")
+	}
+	mid := r.Value(d(2014, 7, 2)) // ~halfway through the year
+	if mid < 0.45 || mid > 0.55 {
+		t.Errorf("midpoint = %v", mid)
+	}
+	// Degenerate window behaves as a step.
+	step := Ramp{Start: d(2014, 1, 1), End: d(2014, 1, 1), StartValue: 0.2, EndValue: 0.8}
+	if step.Value(d(2013, 12, 31)) != 0.2 || step.Value(d(2014, 1, 1)) != 0.8 {
+		t.Error("degenerate ramp")
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p := MustPiecewise(
+		Point{d(2012, 1, 1), 0.9},
+		Point{d(2014, 1, 1), 0.5},
+		Point{d(2016, 1, 1), 0.1},
+	)
+	if got := p.Value(d(2011, 1, 1)); got != 0.9 {
+		t.Errorf("before first knot: %v", got)
+	}
+	if got := p.Value(d(2017, 1, 1)); got != 0.1 {
+		t.Errorf("after last knot: %v", got)
+	}
+	if got := p.Value(d(2013, 1, 1)); math.Abs(got-0.7) > 0.01 {
+		t.Errorf("interpolation: %v", got)
+	}
+	if got := p.Value(d(2014, 1, 1)); got != 0.5 {
+		t.Errorf("exact knot: %v", got)
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(); err == nil {
+		t.Error("empty piecewise accepted")
+	}
+	if _, err := NewPiecewise(Point{d(2012, 1, 1), 0.5}, Point{d(2012, 1, 1), 0.7}); err == nil {
+		t.Error("duplicate knots accepted")
+	}
+	// Unsorted input is sorted.
+	p := MustPiecewise(Point{d(2014, 1, 1), 1}, Point{d(2012, 1, 1), 0})
+	if p.Value(d(2012, 1, 1)) != 0 {
+		t.Error("unsorted knots not handled")
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	l := Logistic{Mid: d(2014, 6, 1), SlopeDays: 60, Floor: 0, Cei: 1}
+	if got := l.Value(d(2014, 6, 1)); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("midpoint = %v", got)
+	}
+	if got := l.Value(d(2012, 1, 1)); got > 0.01 {
+		t.Errorf("long before mid = %v", got)
+	}
+	if got := l.Value(d(2017, 1, 1)); got < 0.99 {
+		t.Errorf("long after mid = %v", got)
+	}
+	// Monotone nondecreasing.
+	prev := -1.0
+	for day := 0; day < 1500; day += 30 {
+		tt := d(2012, 1, 1).Time().AddDate(0, 0, day)
+		v := l.Value(timeline.D(tt.Year(), tt.Month(), tt.Day()))
+		if v < prev {
+			t.Fatalf("logistic not monotone at day %d", day)
+		}
+		prev = v
+	}
+	step := Logistic{Mid: d(2014, 6, 1), SlopeDays: 0, Floor: 0.1, Cei: 0.9}
+	if step.Value(d(2014, 5, 31)) != 0.1 || step.Value(d(2014, 6, 1)) != 0.9 {
+		t.Error("degenerate logistic")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	c := Decay{Start: d(2014, 4, 7), From: 0.24, To: 0.003, HalfLifeDays: 30}
+	if got := c.Value(d(2014, 1, 1)); got != 0.24 {
+		t.Errorf("before start = %v", got)
+	}
+	// One half-life later the excess over the floor halves.
+	got := c.Value(d(2014, 5, 7))
+	want := 0.003 + (0.24-0.003)*0.5
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("one half-life = %v, want ≈%v", got, want)
+	}
+	// Far future approaches the floor.
+	if got := c.Value(d(2018, 1, 1)); math.Abs(got-0.003) > 1e-6 {
+		t.Errorf("far future = %v", got)
+	}
+}
+
+func TestCurvesBounded(t *testing.T) {
+	curves := []Curve{
+		Constant(0.5),
+		Ramp{Start: d(2013, 1, 1), End: d(2015, 1, 1), StartValue: -0.5, EndValue: 1.5},
+		MustPiecewise(Point{d(2013, 1, 1), 0.2}, Point{d(2015, 1, 1), 0.9}),
+		Logistic{Mid: d(2014, 1, 1), SlopeDays: 90, Floor: 0, Cei: 1},
+		Decay{Start: d(2014, 1, 1), From: 0.9, To: 0.05, HalfLifeDays: 200},
+	}
+	f := func(dayOffset uint16) bool {
+		date := timeline.D(2012, time.January, 1)
+		tt := date.Time().AddDate(0, 0, int(dayOffset)%3000)
+		probe := timeline.D(tt.Year(), tt.Month(), tt.Day())
+		for _, c := range curves {
+			v := c.Value(probe)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLagAdoptedMonotone(t *testing.T) {
+	for _, lag := range []LagDistribution{BrowserLag, LibraryLag, DeviceLag} {
+		if err := lag.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for days := -10; days < 4000; days += 7 {
+			v := lag.Adopted(days)
+			if v < prev {
+				t.Fatalf("Adopted not monotone at %d days", days)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("Adopted out of range at %d days: %v", days, v)
+			}
+			prev = v
+		}
+		// Asymptote bounded by 1 - NeverShare.
+		if v := lag.Adopted(100000); v > 1-lag.NeverShare+1e-9 {
+			t.Errorf("asymptote %v exceeds 1-NeverShare", v)
+		}
+	}
+}
+
+func TestLagValidate(t *testing.T) {
+	bad := []LagDistribution{
+		{FastShare: -0.1, FastTauDays: 10, SlowTauDays: 100},
+		{FastShare: 0.8, NeverShare: 0.3, FastTauDays: 10, SlowTauDays: 100},
+		{FastShare: 0.5, FastTauDays: 0, SlowTauDays: 100},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: invalid lag accepted", i)
+		}
+	}
+}
+
+func TestVersionMixSumsToOne(t *testing.T) {
+	releases := []Release{
+		{"27", d(2014, 2, 4)},
+		{"33", d(2014, 10, 14)},
+		{"37", d(2015, 3, 31)},
+		{"44", d(2016, 1, 26)},
+	}
+	f := func(dayOffset uint16) bool {
+		tt := timeline.D(2012, time.January, 1).Time().AddDate(0, 0, int(dayOffset)%2500)
+		probe := timeline.D(tt.Year(), tt.Month(), tt.Day())
+		mix := VersionMix(releases, probe, BrowserLag)
+		if len(mix) != len(releases)+1 {
+			return false
+		}
+		sum := 0.0
+		for _, v := range mix {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionMixShape(t *testing.T) {
+	releases := []Release{
+		{"v1", d(2013, 1, 1)},
+		{"v2", d(2015, 1, 1)},
+	}
+	// Before any release: everyone on pre-history.
+	mix := VersionMix(releases, d(2012, 1, 1), BrowserLag)
+	if mix[0] != 1 || mix[1] != 0 || mix[2] != 0 {
+		t.Errorf("pre-release mix = %v", mix)
+	}
+	// Long after v1, before v2: most on v1.
+	mix = VersionMix(releases, d(2014, 12, 1), BrowserLag)
+	if mix[1] < 0.8 {
+		t.Errorf("v1 share after 2 years = %v", mix[1])
+	}
+	// Long after v2: most on v2, but a long tail remains on v1 —
+	// the paper's central long-tail observation.
+	mix = VersionMix(releases, d(2018, 1, 1), BrowserLag)
+	if mix[2] < 0.85 {
+		t.Errorf("v2 share = %v", mix[2])
+	}
+	if tail := mix[0] + mix[1]; tail <= 0.005 {
+		t.Errorf("long tail on old software vanished: %v", tail)
+	}
+	// Device-lag populations retain far more of the old versions.
+	devMix := VersionMix(releases, d(2018, 1, 1), DeviceLag)
+	if devMix[0]+devMix[1] < mix[0]+mix[1] {
+		t.Errorf("device tail (%v) should exceed browser tail (%v)", devMix[0]+devMix[1], mix[0]+mix[1])
+	}
+	// Empty release history.
+	empty := VersionMix(nil, d(2015, 1, 1), BrowserLag)
+	if len(empty) != 1 || empty[0] != 1 {
+		t.Errorf("empty mix = %v", empty)
+	}
+}

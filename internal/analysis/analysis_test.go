@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
+	"tlsage/internal/simulate"
+	"tlsage/internal/timeline"
+)
+
+var (
+	testAggOnce sync.Once
+	testAgg     *notary.Aggregate
+)
+
+func sharedAgg(t *testing.T) *notary.Aggregate {
+	t.Helper()
+	testAggOnce.Do(func() {
+		sim := simulate.New(simulate.DefaultOptions(400))
+		var err error
+		testAgg, err = sim.RunAggregate()
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testAgg
+}
+
+func TestAllFiguresBuild(t *testing.T) {
+	agg := sharedAgg(t)
+	figs := AllFigures(agg)
+	if len(figs) != 10 {
+		t.Fatalf("expected 10 figures, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || len(f.Series) == 0 {
+			t.Errorf("figure %q malformed", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != 75 {
+				t.Errorf("%s series %s has %d points, want 75", f.ID, s.Name, len(s.Points))
+			}
+			for _, p := range s.Points {
+				if p.Value < 0 || p.Value > 100 {
+					t.Errorf("%s %s at %v: value %f out of range", f.ID, s.Name, p.Month, p.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure1SeriesShape(t *testing.T) {
+	f := Figure1Versions(sharedAgg(t))
+	tls10, ok := f.SeriesByName("TLSv10")
+	if !ok {
+		t.Fatal("TLSv10 series missing")
+	}
+	early, _ := tls10.Value(timeline.M(2012, time.April))
+	late, _ := tls10.Value(timeline.M(2018, time.February))
+	if early < 70 || late > 12 {
+		t.Errorf("TLS1.0 series %0.1f → %0.1f lacks the paper's decline", early, late)
+	}
+	if len(f.Events) == 0 {
+		t.Error("Figure 1 should carry attack events")
+	}
+}
+
+func TestFigure8SeriesConsistency(t *testing.T) {
+	f := Figure8Kex(sharedAgg(t))
+	rsa, _ := f.SeriesByName("RSA")
+	ecdhe, _ := f.SeriesByName("ECDHE")
+	rsaEarly, _ := rsa.Value(timeline.M(2012, time.June))
+	ecdheLate, _ := ecdhe.Value(timeline.M(2018, time.March))
+	if rsaEarly < 40 || ecdheLate < 70 {
+		t.Errorf("Figure 8 shape off: RSA2012=%0.1f ECDHE2018=%0.1f", rsaEarly, ecdheLate)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	f := Figure2NegotiatedClasses(sharedAgg(t))
+	var buf bytes.Buffer
+	if err := f.RenderTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "RC4") {
+		t.Error("table rendering missing header")
+	}
+	if !strings.Contains(out, "2012-02") || !strings.Contains(out, "2018-04") {
+		t.Error("table missing study endpoints")
+	}
+	// Event markers appear.
+	if !strings.Contains(out, "Snowden") {
+		t.Error("event annotation missing")
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 75 {
+		t.Errorf("table has %d lines, want ≥75", lines)
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	f := Figure6RC4Advertised(sharedAgg(t))
+	var buf bytes.Buffer
+	if err := f.RenderChart(&buf, 72, 14); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "A=RC4 advertised") {
+		t.Errorf("chart missing legend:\n%s", out)
+	}
+	if strings.Count(out, "|") < 28 {
+		t.Error("chart grid missing")
+	}
+	// Degenerate dimensions fall back to defaults.
+	var buf2 bytes.Buffer
+	if err := f.RenderChart(&buf2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Empty figure renders a stub.
+	empty := Figure{ID: "Figure X", Title: "empty"}
+	var buf3 bytes.Buffer
+	if err := empty.RenderChart(&buf3, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf3.String(), "no data") {
+		t.Error("empty chart stub missing")
+	}
+}
+
+func TestPassiveScalars(t *testing.T) {
+	scalars := PassiveScalars(sharedAgg(t))
+	if len(scalars) < 14 {
+		t.Fatalf("expected ≥14 scalars, got %d", len(scalars))
+	}
+	byID := map[string]Scalar{}
+	for _, s := range scalars {
+		if s.ID == "" || s.Name == "" {
+			t.Errorf("malformed scalar %+v", s)
+		}
+		byID[s.ID] = s
+	}
+	// Spot-check the big shape wins at this sample size.
+	if s := byID["S-F1b"]; s.Measured < 75 {
+		t.Errorf("TLS1.2 2018 measured %0.1f", s.Measured)
+	}
+	if s := byID["S6a"]; s.Measured < 55 {
+		t.Errorf("secp256r1 share measured %0.1f", s.Measured)
+	}
+	if s := byID["S7c"]; s.Measured < 8 {
+		t.Errorf("TLS1.3 Apr 2018 support measured %0.1f", s.Measured)
+	}
+	if byID["S-F1a"].Deviation() != byID["S-F1a"].Deviation() {
+		t.Error("NaN deviation")
+	}
+	var buf bytes.Buffer
+	if err := RenderScalars(&buf, "Passive scalars", scalars); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S-F1a") {
+		t.Error("scalar rendering incomplete")
+	}
+}
+
+func TestFingerprintScalars(t *testing.T) {
+	scalars := FingerprintScalars(sharedAgg(t))
+	if len(scalars) != 3 {
+		t.Fatalf("got %d fingerprint scalars", len(scalars))
+	}
+	// At this reduced sample size the single-day mass is smaller than the
+	// paper's (median exactly 1 day shows up at study scale; see the
+	// simulate tests); here assert the structural property only.
+	var median, single Scalar
+	for _, s := range scalars {
+		switch s.ID {
+		case "S5a":
+			median = s
+		case "S5b":
+			single = s
+		}
+	}
+	if single.Measured <= 0 {
+		t.Error("no single-day fingerprints measured")
+	}
+	if median.Measured <= 0 {
+		t.Error("median duration not measured")
+	}
+	if FingerprintScalars(notary.NewAggregate()) != nil {
+		t.Error("empty aggregate should yield no scalars")
+	}
+}
+
+func TestBuildTable2(t *testing.T) {
+	agg := sharedAgg(t)
+	db := fingerprint.BuildDefault()
+	rep := BuildTable2(agg, db)
+	if rep.TotalFPs < 1500 {
+		t.Errorf("DB size %d", rep.TotalFPs)
+	}
+	// Coverage: the paper attributes 69.23% of fingerprinted connections.
+	if rep.TotalCoverage < 50 || rep.TotalCoverage > 85 {
+		t.Errorf("coverage = %0.1f%%, want ≈69%%", rep.TotalCoverage)
+	}
+	if len(rep.Rows) < 8 {
+		t.Fatalf("only %d class rows", len(rep.Rows))
+	}
+	// Libraries lead coverage (Table 2's ordering).
+	if rep.Rows[0].Class != "Libraries" {
+		t.Errorf("top class = %s, want Libraries", rep.Rows[0].Class)
+	}
+	var buf bytes.Buffer
+	if err := rep.RenderTable2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Libraries") {
+		t.Error("Table 2 rendering incomplete")
+	}
+}
+
+func TestCurveSharesOrdered(t *testing.T) {
+	shares := CurveSharesOverall(sharedAgg(t))
+	if len(shares) == 0 {
+		t.Fatal("no curve shares")
+	}
+	sum := 0.0
+	for i, s := range shares {
+		sum += s.Share
+		if i > 0 && shares[i-1].Share < s.Share {
+			t.Error("shares not descending")
+		}
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("shares sum to %0.2f", sum)
+	}
+	if shares[0].Curve != registry.CurveSecp256r1 {
+		t.Errorf("top curve = %v, want secp256r1", shares[0].Curve)
+	}
+}
+
+func TestSeriesValueMissing(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{{Month: timeline.M(2015, time.June), Value: 5}}}
+	if _, ok := s.Value(timeline.M(2015, time.July)); ok {
+		t.Error("missing month reported present")
+	}
+	f := Figure{ID: "f", Series: []Series{s}}
+	if _, ok := f.SeriesByName("y"); ok {
+		t.Error("missing series reported present")
+	}
+}
+
+func TestExtensionUptake(t *testing.T) {
+	f := ExtensionUptake(sharedAgg(t))
+	if f.ID != "Figure E1" || len(f.Series) != 7 {
+		t.Fatalf("figure: %s with %d series", f.ID, len(f.Series))
+	}
+	rie, _ := f.SeriesByName("renegotiation_info")
+	etm, _ := f.SeriesByName("encrypt_then_mac")
+	sv, _ := f.SeriesByName("supported_versions")
+	hb, _ := f.SeriesByName("heartbeat")
+
+	// RIE is near-universal across the study (the post-renegotiation-attack
+	// response the paper mentions in §9).
+	if v, _ := rie.Value(timeline.M(2016, time.June)); v < 80 {
+		t.Errorf("renegotiation_info Jun 2016 = %0.1f%%", v)
+	}
+	// Encrypt-then-MAC saw "very limited take up" (§9).
+	for _, p := range etm.Points {
+		if p.Value > 5 {
+			t.Errorf("encrypt_then_mac at %v = %0.1f%%, should stay tiny", p.Month, p.Value)
+		}
+	}
+	// supported_versions only appears with the 2018 TLS 1.3 rollouts.
+	if v, _ := sv.Value(timeline.M(2016, time.June)); v > 0.5 {
+		t.Errorf("supported_versions in 2016 = %0.1f%%", v)
+	}
+	if v, _ := sv.Value(timeline.M(2018, time.April)); v <= 2 {
+		t.Errorf("supported_versions Apr 2018 = %0.1f%%, should have taken off", v)
+	}
+	// Heartbeat advertisement rises with OpenSSL 1.0.1 and falls after 1.1.0.
+	peak, _ := hb.Value(timeline.M(2015, time.June))
+	late, _ := hb.Value(timeline.M(2018, time.March))
+	if peak < 8 || late >= peak {
+		t.Errorf("heartbeat advertisement %0.1f%% → %0.1f%% lacks rise-and-fall", peak, late)
+	}
+}
+
+func TestAttackImpacts(t *testing.T) {
+	impacts := AttackImpacts(sharedAgg(t))
+	if len(impacts) < 6 {
+		t.Fatalf("only %d impacts", len(impacts))
+	}
+	byEvent := map[string]AttackImpact{}
+	for _, im := range impacts {
+		byEvent[im.Event.Name] = im
+	}
+	// Snowden: forward secrecy rises strongly within a year (§7.4).
+	if im, ok := byEvent[timeline.EventSnowden]; !ok || im.Delta12() < 8 {
+		t.Errorf("Snowden FS delta = %+0.1f, want strong rise", im.Delta12())
+	}
+	// Lucky 13: no clear CBC decline within a year ("no clear change in
+	// traffic", §7.4) — CBC may even rise as TLS 1.2 rolls out.
+	if im, ok := byEvent[timeline.EventLucky13]; !ok || im.Delta12() < -10 {
+		t.Errorf("Lucky13 CBC delta = %+0.1f, paper saw no immediate decline", im.Delta12())
+	}
+	// Sweet32: 3DES advertisement declines within a year.
+	if im, ok := byEvent[timeline.EventSweet32]; !ok || im.Delta12() > -2 {
+		t.Errorf("Sweet32 3DES delta = %+0.1f, want decline", im.Delta12())
+	}
+	// First RC4 attack: negotiation does respond within a year (server-side
+	// moves first), but advertisement lingers (checked via RC4NoMore row).
+	if im, ok := byEvent[timeline.EventRC4]; !ok || im.After12 >= im.Before+5 {
+		t.Errorf("RC4 negotiated should not rise post-attack: %+v", im)
+	}
+	var buf bytes.Buffer
+	if err := RenderImpacts(&buf, impacts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Snowden") {
+		t.Error("impact rendering incomplete")
+	}
+}
+
+func TestTLS13VariantSharesAnalysis(t *testing.T) {
+	shares := TLS13VariantShares(sharedAgg(t))
+	if len(shares) == 0 {
+		t.Fatal("no variant shares")
+	}
+	sum := 0.0
+	for i, v := range shares {
+		sum += v.Share
+		if i > 0 && shares[i-1].Share < v.Share {
+			t.Error("variant shares not descending")
+		}
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("variant shares sum to %0.1f", sum)
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// AttackImpact quantifies §7.4's discussion: for each high-profile event,
+// how much the metric it targeted moved in the window around its disclosure
+// versus the year after. "Sometimes spectacular, sometimes quite slow."
+type AttackImpact struct {
+	Event  timeline.Event
+	Metric string
+	// Before is the metric in the month preceding the event.
+	Before float64
+	// After6 and After12 are the metric 6 and 12 months after.
+	After6, After12 float64
+}
+
+// Delta12 returns the 12-month change (negative = decline).
+func (a AttackImpact) Delta12() float64 { return a.After12 - a.Before }
+
+// impactMetrics pairs each event with the series the paper reads it
+// against.
+var impactMetrics = []struct {
+	event  string
+	metric string
+	f      metric
+}{
+	{timeline.EventRC4, "RC4 negotiated %", func(ms *notary.MonthStats) float64 {
+		return ms.PctEstablished(ms.ByClass["RC4"])
+	}},
+	{timeline.EventRC4NoMore, "RC4 advertised %", func(ms *notary.MonthStats) float64 {
+		return ms.Pct(ms.AdvRC4)
+	}},
+	{timeline.EventSnowden, "forward-secret negotiated %", func(ms *notary.MonthStats) float64 {
+		n := 0
+		for k, c := range ms.ByKex {
+			if k.ForwardSecret() {
+				n += c
+			}
+		}
+		return ms.PctEstablished(n)
+	}},
+	{timeline.EventLucky13, "CBC negotiated %", func(ms *notary.MonthStats) float64 {
+		return ms.PctEstablished(ms.ByClass["CBC"])
+	}},
+	{timeline.EventPOODLE, "SSL3 negotiated %", func(ms *notary.MonthStats) float64 {
+		return ms.PctEstablished(ms.ByVersion[registry.VersionSSL3])
+	}},
+	{timeline.EventSweet32, "3DES advertised %", func(ms *notary.MonthStats) float64 {
+		return ms.Pct(ms.Adv3DES)
+	}},
+	{timeline.EventFREAK, "export advertised %", func(ms *notary.MonthStats) float64 {
+		return ms.Pct(ms.AdvExport)
+	}},
+	{timeline.EventHeartbleed, "heartbeat offered %", func(ms *notary.MonthStats) float64 {
+		return ms.Pct(ms.OffersHeartbeatN)
+	}},
+}
+
+// AttackImpacts evaluates every event/metric pair available in the
+// aggregate's window.
+func AttackImpacts(agg *notary.Aggregate) []AttackImpact {
+	var out []AttackImpact
+	for _, im := range impactMetrics {
+		date, ok := timeline.EventDate(im.event)
+		if !ok {
+			continue
+		}
+		m0 := timeline.MonthOf(date)
+		before := agg.Stats(m0.AddMonths(-1))
+		after6 := agg.Stats(m0.AddMonths(6))
+		after12 := agg.Stats(m0.AddMonths(12))
+		if before == nil || after6 == nil || after12 == nil {
+			continue
+		}
+		ev := timeline.Event{Name: im.event, Date: date}
+		for _, e := range timeline.Events() {
+			if e.Name == im.event {
+				ev = e
+			}
+		}
+		out = append(out, AttackImpact{
+			Event:   ev,
+			Metric:  im.metric,
+			Before:  im.f(before),
+			After6:  im.f(after6),
+			After12: im.f(after12),
+		})
+	}
+	return out
+}
+
+// RenderImpacts writes the §7.4 table.
+func RenderImpacts(w io.Writer, impacts []AttackImpact) error {
+	if _, err := fmt.Fprintf(w, "%-14s %-12s %-28s %8s %8s %8s %8s\n",
+		"event", "date", "metric", "before", "+6mo", "+12mo", "Δ12"); err != nil {
+		return err
+	}
+	for _, im := range impacts {
+		if _, err := fmt.Fprintf(w, "%-14s %-12s %-28s %7.1f%% %7.1f%% %7.1f%% %+7.1f\n",
+			im.Event.Name, im.Event.Date, im.Metric,
+			im.Before, im.After6, im.After12, im.Delta12()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tlsage/internal/timeline"
+)
+
+// RenderTable writes the figure as an aligned text table: one row per month,
+// one column per series, with attack-event annotations inline.
+func (f *Figure) RenderTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-8s", "month")
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" %18s", s.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	months := f.months()
+	eventsByMonth := map[timeline.Month][]string{}
+	for _, e := range f.Events {
+		m := timeline.MonthOf(e.Date)
+		eventsByMonth[m] = append(eventsByMonth[m], e.Name)
+	}
+	for _, m := range months {
+		row := fmt.Sprintf("%-8s", m)
+		for _, s := range f.Series {
+			if v, ok := s.Value(m); ok {
+				row += fmt.Sprintf(" %17.2f%%", v)
+			} else {
+				row += fmt.Sprintf(" %18s", "-")
+			}
+		}
+		if names := eventsByMonth[m]; len(names) > 0 {
+			row += "   ← " + strings.Join(names, ", ")
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderChart writes a compact ASCII chart of the figure (one glyph per
+// series) sized width×height, plus a legend.
+func (f *Figure) RenderChart(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	months := f.months()
+	if len(months) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no data\n", f.ID)
+		return err
+	}
+	glyphs := []byte{'A', 'C', 'R', 'D', 'T', 'E', 'N', 'x', 'o', '+'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	maxVal := 0.0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Value > maxVal {
+				maxVal = p.Value
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	span := months[len(months)-1].Sub(months[0])
+	if span == 0 {
+		span = 1
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := (p.Month.Sub(months[0]) * (width - 1)) / span
+			yf := p.Value / maxVal
+			y := height - 1 - int(math.Round(yf*float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s  (max %.1f%%)\n", f.ID, f.Title, maxVal); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	axis := fmt.Sprintf("%s%s%s", months[0], strings.Repeat(" ", max(1, width-14)), months[len(months)-1])
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(legend, "  "))
+	return err
+}
+
+func (f *Figure) months() []timeline.Month {
+	seen := map[timeline.Month]bool{}
+	var out []timeline.Month
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.Month] {
+				seen[p.Month] = true
+				out = append(out, p.Month)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Before(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tlsage/internal/clientdb"
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// Scalar is one named paper-vs-measured comparison.
+type Scalar struct {
+	ID       string  // experiment id, e.g. "S7a"
+	Name     string  // human description
+	Paper    float64 // the value printed in the paper
+	Measured float64
+	Unit     string // "%" or "days" or ""
+}
+
+// Deviation returns the absolute difference.
+func (s Scalar) Deviation() float64 {
+	d := s.Measured - s.Paper
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// PassiveScalars extracts the paper's headline passive-measurement scalars
+// from an aggregate covering the study window.
+func PassiveScalars(agg *notary.Aggregate) []Scalar {
+	var out []Scalar
+	get := func(y int, m time.Month) *notary.MonthStats {
+		return agg.Stats(timeline.M(y, m))
+	}
+	pctOr := func(ms *notary.MonthStats, f func(*notary.MonthStats) float64) float64 {
+		if ms == nil {
+			return 0
+		}
+		return f(ms)
+	}
+
+	feb18 := get(2018, time.February)
+	mar18 := get(2018, time.March)
+	apr18 := get(2018, time.April)
+
+	out = append(out,
+		Scalar{"S-F1a", "TLS 1.0 negotiated, Feb 2018", 2.8,
+			pctOr(feb18, func(ms *notary.MonthStats) float64 {
+				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS10])
+			}), "%"},
+		Scalar{"S-F1b", "TLS 1.2 negotiated, Feb 2018", 90,
+			pctOr(feb18, func(ms *notary.MonthStats) float64 {
+				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS12])
+			}), "%"},
+		Scalar{"S7a", "TLS 1.3 client support, Feb 2018", 0.5,
+			pctOr(feb18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+		Scalar{"S7b", "TLS 1.3 client support, Mar 2018", 9.8,
+			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+		Scalar{"S7c", "TLS 1.3 client support, Apr 2018", 23.6,
+			pctOr(apr18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+		Scalar{"S7d", "TLS 1.3 negotiated, Apr 2018", 1.3,
+			pctOr(apr18, func(ms *notary.MonthStats) float64 {
+				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS13])
+			}), "%"},
+		Scalar{"S3c", "heartbeat negotiated, 2018", 3.0,
+			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.HeartbeatAckN) }), "%"},
+		Scalar{"S-F3a", "3DES advertised, Mar 2018", 69,
+			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.Adv3DES) }), "%"},
+		Scalar{"S-F7a", "export advertised, 2012", 28.19,
+			pctOr(get(2012, time.June), func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvExport) }), "%"},
+		Scalar{"S-F7b", "export advertised, 2018", 1.03,
+			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvExport) }), "%"},
+	)
+
+	// Whole-dataset NULL and anonymous negotiation rates (§6.1, §6.2).
+	var est, nullNeg, anonNeg int
+	for _, m := range agg.Months() {
+		ms := agg.Stats(m)
+		est += ms.Established
+		nullNeg += ms.NULLNegotiated
+		anonNeg += ms.AnonNegotiated
+	}
+	if est > 0 {
+		out = append(out,
+			Scalar{"S-61", "NULL negotiated, whole dataset", 2.84,
+				100 * float64(nullNeg) / float64(est), "%"},
+			Scalar{"S-62", "anonymous negotiated, whole dataset", 0.17,
+				100 * float64(anonNeg) / float64(est), "%"},
+		)
+	}
+
+	// §6.3.3 curve shares.
+	shares := CurveSharesOverall(agg)
+	lookup := func(c registry.CurveID) float64 {
+		for _, s := range shares {
+			if s.Curve == c {
+				return s.Share
+			}
+		}
+		return 0
+	}
+	out = append(out,
+		Scalar{"S6a", "secp256r1 share, whole dataset", 84.4, lookup(registry.CurveSecp256r1), "%"},
+		Scalar{"S6b", "secp384r1 share, whole dataset", 8.6, lookup(registry.CurveSecp384r1), "%"},
+		Scalar{"S6c", "x25519 share, whole dataset", 6.7, lookup(registry.CurveX25519), "%"},
+	)
+	if feb18 != nil {
+		grand := 0
+		for _, n := range feb18.ByCurve {
+			grand += n
+		}
+		if grand > 0 {
+			out = append(out, Scalar{"S6d", "x25519 share, Feb 2018", 22.2,
+				100 * float64(feb18.ByCurve[registry.CurveX25519]) / float64(grand), "%"})
+		}
+	}
+	return out
+}
+
+// FingerprintScalars extracts the §4.1 lifetime scalars.
+func FingerprintScalars(agg *notary.Aggregate) []Scalar {
+	st := fingerprint.ComputeDurationStats(agg.FPDurations())
+	if st.Total == 0 {
+		return nil
+	}
+	singleShare := 100 * float64(st.SingleDay) / float64(st.Total)
+	longShare := 100 * float64(st.LongLived) / float64(st.Total)
+	return []Scalar{
+		{"S5a", "median fingerprint duration", 1, st.MedianDays, "days"},
+		{"S5b", "single-day fingerprints", 100 * 42188.0 / 69874.0, singleShare, "%"},
+		{"S5c", "fingerprints seen >1200 days", 100 * 1203.0 / 69874.0, longShare, "%"},
+	}
+}
+
+// RenderScalars writes a paper-vs-measured table.
+func RenderScalars(w io.Writer, title string, scalars []Scalar) error {
+	if _, err := fmt.Fprintf(w, "%s\n%-8s %-42s %10s %10s %6s\n",
+		title, "id", "metric", "paper", "measured", "unit"); err != nil {
+		return err
+	}
+	sorted := make([]Scalar, len(scalars))
+	copy(sorted, scalars)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, s := range sorted {
+		if _, err := fmt.Fprintf(w, "%-8s %-42s %10.2f %10.2f %6s\n",
+			s.ID, s.Name, s.Paper, s.Measured, s.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table2Report reproduces Table 2 against a traffic aggregate and the
+// fingerprint database: per-class fingerprint counts from the DB and
+// coverage (share of fingerprint-bearing connections attributed per class).
+type Table2Report struct {
+	Rows          []Table2Row
+	TotalFPs      int
+	TotalCoverage float64 // % of fingerprinted connections attributed
+}
+
+// Table2Row is one class row.
+type Table2Row struct {
+	Class    string
+	NumFPs   int
+	Coverage float64 // % of connections attributed to this class
+}
+
+// BuildTable2 matches the database against every fingerprint-bearing record
+// in the aggregate.
+func BuildTable2(agg *notary.Aggregate, db *fingerprint.DB) Table2Report {
+	classConns := map[string]int64{}
+	var total, matched int64
+	for _, m := range agg.Months() {
+		for fp, caps := range agg.Stats(m).FPs {
+			total += int64(caps.Count)
+			if e, ok := db.Lookup(fingerprint.Fingerprint(fp)); ok {
+				matched += int64(caps.Count)
+				classConns[string(e.Class)] += int64(caps.Count)
+			}
+		}
+	}
+	rep := Table2Report{TotalFPs: db.Size()}
+	if total > 0 {
+		rep.TotalCoverage = 100 * float64(matched) / float64(total)
+	}
+	counts := db.CountByClass()
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, string(c))
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		return classConns[classes[i]] > classConns[classes[j]]
+	})
+	for _, c := range classes {
+		cov := 0.0
+		if total > 0 {
+			cov = 100 * float64(classConns[c]) / float64(total)
+		}
+		rep.Rows = append(rep.Rows, Table2Row{Class: c, NumFPs: counts[clientdb.Class(c)], Coverage: cov})
+	}
+	return rep
+}
+
+// RenderTable2 writes the Table 2 reproduction.
+func (r Table2Report) RenderTable2(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Table 2 — Fingerprint summary (DB size %d, coverage %.2f%% of fingerprinted connections)\n%-26s %8s %10s\n",
+		r.TotalFPs, r.TotalCoverage, "class", "№ FPs", "coverage"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-26s %8d %9.2f%%\n", row.Class, row.NumFPs, row.Coverage); err != nil {
+			return err
+		}
+	}
+	return nil
+}

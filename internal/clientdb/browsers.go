@@ -1,0 +1,334 @@
+package clientdb
+
+import (
+	"time"
+
+	"tlsage/internal/adoption"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// Browser profiles. Each release encodes the configuration changes the paper
+// documents in Tables 3 (CBC counts), 4 (RC4 counts), 5 (3DES counts) and 6
+// (protocol-version support), at the dates printed there. Where the paper's
+// tables disagree on a date or version label (they were compiled from
+// different sources), the discrepancy is resolved toward the release date
+// and noted in EXPERIMENTS.md.
+
+func d(y int, m time.Month, day int) timeline.Date { return timeline.D(y, m, day) }
+
+// safariLag: Safari updates ride OS updates — slower than auto-updating
+// browsers. windowsLag: IE is pinned to Windows servicing, slower still.
+var (
+	safariLag  = adoption.LagDistribution{FastShare: 0.50, FastTauDays: 45, SlowTauDays: 420, NeverShare: 0.03}
+	windowsLag = adoption.LagDistribution{FastShare: 0.35, FastTauDays: 60, SlowTauDays: 500, NeverShare: 0.03}
+)
+
+var firefox = &Profile{
+	Name:  "Firefox",
+	Class: ClassBrowser,
+	Lag:   adoption.BrowserLag,
+	Releases: []VersionConfig{
+		{"<27", d(2012, time.January, 1), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 29, 8, 6),
+			Extensions: extsEra2012, Curves: curvesNSSOld, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// FF27 (Table 6: TLS 1.1/1.2; Table 3: CBC 29→17; Table 4: RC4 6→4;
+		// Table 5: 3DES 8→3).
+		{"27", d(2014, time.February, 4), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(4, 17, 3, 4),
+			Extensions: extsEra2014, Curves: curvesNSSOld, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// FF33 (Table 3: CBC→10; Table 5: 3DES→1).
+		{"33", d(2014, time.October, 14), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(4, 10, 1, 4),
+			Extensions: extsEra2014, Curves: curvesNSSOld, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// FF36 (Table 4: RC4 fallback only).
+		{"36", d(2015, time.February, 24), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(4, 10, 1, 0),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true, RC4FallbackOnly: true, SendsFallbackSCSV: true,
+		}},
+		// FF37 (Table 3: CBC→9; Table 6: SSL3 fallback removed).
+		{"37", d(2015, time.March, 31), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 9, 1, 0),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			RC4FallbackOnly: true, SendsFallbackSCSV: true,
+		}},
+		// FF44 (Table 4: RC4 removed completely).
+		{"44", d(2016, time.January, 26), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(6, 9, 1, 0),
+			Extensions: extsEra2016, Curves: curvesModern, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// FF60 beta (Table 3: CBC→5; Table 6: TLS 1.3). The beta rollout in
+		// March 2018 is what the paper sees as the Firefox share of the
+		// Feb→Apr 2018 jump in client TLS 1.3 support (§6.4).
+		{"60", d(2018, time.March, 14), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			SupportedVersions: []registry.Version{
+				registry.VersionTLS13Draft18, registry.VersionTLS12,
+				registry.VersionTLS11, registry.VersionTLS10,
+			},
+			Suites: concat(
+				[]uint16{0x1301, 0x1303, 0x1302}, // TLS 1.3 suites first
+				take(aeadPool, 6), take(cbcAESPool, 4), take(tdesPool, 1),
+			),
+			Extensions: extsEra2018, Curves: curvesModern, PointFormats: pfUncompressed,
+		}},
+	},
+}
+
+var chrome = &Profile{
+	Name:  "Chrome",
+	Class: ClassBrowser,
+	Lag:   adoption.BrowserLag,
+	Releases: []VersionConfig{
+		{"<22", d(2012, time.January, 1), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 29, 8, 6),
+			Extensions: extsEra2012, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// Chrome 22 (Table 6: TLS 1.1).
+		{"22", d(2012, time.September, 25), Config{
+			LegacyVersion: registry.VersionTLS11, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 29, 8, 6),
+			Extensions: extsEra2012, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// Chrome 29 (Table 6: TLS 1.2; Table 3: CBC 29→16; Table 4: RC4 6→4;
+		// Table 5: 3DES 8→1).
+		{"29", d(2013, time.August, 20), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(4, 16, 1, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// Chrome 31 (Table 3: CBC→10). Also ships the draft ChaCha20 suites.
+		{"31", d(2013, time.November, 12), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites: concat(take(aeadPool, 4), oldChaChaPool,
+				take(cbcAESPool, 9), take(rc4Pool, 4), take(tdesPool, 1)),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// Chrome 39 (Table 6: SSL3 fallback removed).
+		{"39", d(2014, time.November, 18), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites: concat(take(aeadPool, 4), oldChaChaPool,
+				take(cbcAESPool, 9), take(rc4Pool, 4), take(tdesPool, 1)),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Chrome 41 (Table 3: CBC→9).
+		{"41", d(2015, time.March, 3), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites: concat(take(aeadPool, 4), oldChaChaPool,
+				take(cbcAESPool, 8), take(rc4Pool, 4), take(tdesPool, 1)),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Chrome 43 (Table 4: RC4 removed completely).
+		{"43", d(2015, time.May, 19), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites: concat(take(aeadPool, 4), oldChaChaPool,
+				take(cbcAESPool, 8), take(tdesPool, 1)),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Chrome 49 (Table 3: CBC→7); RFC 7905 ChaCha20 code points and
+		// x25519 land in this era.
+		{"49", d(2016, time.March, 2), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(6, 7, 1, 0),
+			Extensions: extsEra2016, Curves: curvesModern, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Chrome 56 (Table 3: CBC→5); GREASE on.
+		{"56", d(2017, time.January, 25), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(6, 5, 1, 0),
+			Extensions: extsEra2016, Curves: curvesModern, PointFormats: pfUncompressed,
+			GREASE: true,
+		}},
+		// Chrome 65 (March 2018): TLS 1.3 re-enabled with the experimental
+		// Google variant 0x7e02 — the version the paper saw in 82.3% of
+		// supported_versions advertisements (§6.4).
+		{"65", d(2018, time.March, 6), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			SupportedVersions: []registry.Version{
+				registry.VersionTLS13Google, registry.VersionTLS12,
+				registry.VersionTLS11, registry.VersionTLS10,
+			},
+			Suites: concat([]uint16{0x1301, 0x1302, 0x1303},
+				take(aeadPool, 6), take(cbcAESPool, 4), take(tdesPool, 1)),
+			Extensions: extsEra2018, Curves: curvesModern, PointFormats: pfUncompressed,
+			GREASE: true,
+		}},
+	},
+}
+
+var opera = &Profile{
+	Name:  "Opera",
+	Class: ClassBrowser,
+	Lag:   adoption.BrowserLag,
+	Releases: []VersionConfig{
+		// Presto-era Opera.
+		{"<15", d(2012, time.January, 1), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 25, 8, 2),
+			Extensions: extsEra2012, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// Opera 15: switch to Chromium (Table 3: CBC 25→29; Table 4: RC4 2→6).
+		{"15", d(2013, time.July, 2), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 29, 8, 6),
+			Extensions: extsOpera2013, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// Opera 16 (Table 6: TLS 1.1; Table 3: CBC→16; Table 4: RC4→4;
+		// Table 5: 3DES→1).
+		{"16", d(2013, time.August, 27), Config{
+			LegacyVersion: registry.VersionTLS11, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 16, 1, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// Opera 18 (Table 3: CBC→10); TLS 1.2 with the Chromium 31 engine.
+		{"18", d(2013, time.November, 19), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(4, 10, 1, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true, SendsFallbackSCSV: true,
+		}},
+		// Opera 27 (Table 6: SSL3 fallback removed).
+		{"27", d(2015, time.January, 22), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 10, 1, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Opera 28 (Table 3: CBC→9).
+		{"28", d(2015, time.March, 10), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 9, 1, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Opera 30 (Table 3: CBC→7; Table 4: RC4 removed completely).
+		{"30", d(2015, time.June, 9), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(6, 7, 1, 0),
+			Extensions: extsEra2016, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SendsFallbackSCSV: true,
+		}},
+		// Opera 43 (Table 3: CBC→5).
+		{"43", d(2017, time.February, 7), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(6, 5, 1, 0),
+			Extensions: extsOpera2016, Curves: curvesModern, PointFormats: pfUncompressed,
+			GREASE: true,
+		}},
+	},
+}
+
+var safari = &Profile{
+	Name:  "Safari",
+	Class: ClassBrowser,
+	Lag:   safariLag,
+	Releases: []VersionConfig{
+		{"<6", d(2012, time.January, 1), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 28, 7, 7),
+			Extensions: extsEra2012, Curves: curvesClassic, PointFormats: pfAll,
+			SSL3Fallback: true,
+		}},
+		// Safari 6 (Table 4: RC4 7→6).
+		{"6", d(2012, time.February, 25), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 28, 7, 6),
+			Extensions: extsEra2012, Curves: curvesClassic, PointFormats: pfAll,
+			SSL3Fallback: true,
+		}},
+		// Safari 7 (Table 6: TLS 1.1/1.2).
+		{"7", d(2013, time.October, 22), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 28, 7, 6),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfAll,
+			SSL3Fallback: true,
+		}},
+		// Safari 7.1 (Table 3: CBC 28→30, an increase; Table 5 "6.2": 3DES
+		// 7→6 — same date, merged here).
+		{"7.1", d(2014, time.September, 18), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 30, 6, 6),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfAll,
+			SSL3Fallback: true,
+		}},
+		// Safari 9 (Table 6: SSL3 removed; Table 4: RC4→4; Table 5: 3DES→3;
+		// Table 3's CBC→15 is dated 01/09/2016 but attributed to 9 — applied
+		// here). First Secure Transport GCM suites.
+		{"9", d(2015, time.September, 30), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 15, 3, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+		}},
+		// Safari 10 (Table 4 "10.1": RC4 removed completely).
+		{"10", d(2016, time.September, 20), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 15, 3, 0),
+			Extensions: extsEra2016, Curves: curvesClassic, PointFormats: pfUncompressed,
+		}},
+		// Safari 10.1 (Table 3: CBC→12).
+		{"10.1", d(2017, time.July, 19), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 12, 3, 0),
+			Extensions: extsEra2016, Curves: curvesClassic, PointFormats: pfAll,
+		}},
+	},
+}
+
+var ieEdge = &Profile{
+	Name:  "IE/Edge",
+	Class: ClassBrowser,
+	Lag:   windowsLag,
+	Releases: []VersionConfig{
+		{"<11", d(2012, time.January, 1), Config{
+			LegacyVersion: registry.VersionTLS10, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(0, 12, 2, 4),
+			Extensions: extsMinimal, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// IE 11 (Table 6: TLS 1.1/1.2).
+		{"11", d(2013, time.November, 1), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionSSL3,
+			Suites:     browserList(2, 12, 2, 4),
+			Extensions: extsEra2014, Curves: curvesClassic, PointFormats: pfUncompressed,
+			SSL3Fallback: true,
+		}},
+		// IE/Edge 13 (Table 4: all RC4 removed; SSL3 disabled post-POODLE).
+		{"13", d(2015, time.May, 20), Config{
+			LegacyVersion: registry.VersionTLS12, MinVersion: registry.VersionTLS10,
+			Suites:     browserList(4, 10, 2, 0),
+			Extensions: extsEra2016, Curves: curvesClassic, PointFormats: pfUncompressed,
+		}},
+	},
+}
+
+// browserProfiles lists the five major browsers of the study.
+var browserProfiles = []*Profile{chrome, firefox, safari, ieEdge, opera}
+
+// BrowserProfiles returns the browser profiles (shared; do not mutate).
+func BrowserProfiles() []*Profile { return browserProfiles }

@@ -1,0 +1,366 @@
+// Package core is the public entry point of the library: it wires the
+// substrates (populations, simulator, notary, fingerprint database, scanner,
+// serverfarm, analysis) into the two workflows of the paper —
+//
+//   - Study: the passive Notary measurement (Feb 2012 – Apr 2018), yielding
+//     Figures 1–10, Tables 1–6 and the §4/§5/§6 scalar findings;
+//   - ScanCampaign: the active Censys-style measurement over a real-TCP
+//     server farm, yielding the §5.1–§5.6 server-side scalars.
+//
+// Both are deterministic for a given seed.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/clientdb"
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/handshake"
+	"tlsage/internal/notary"
+	"tlsage/internal/population"
+	"tlsage/internal/registry"
+	"tlsage/internal/scanner"
+	"tlsage/internal/serverfarm"
+	"tlsage/internal/simulate"
+	"tlsage/internal/timeline"
+)
+
+// Study orchestrates the passive measurement.
+type Study struct {
+	Options simulate.Options
+
+	agg *notary.Aggregate
+	db  *fingerprint.DB
+}
+
+// NewStudy creates a study at the given per-month sample size with the
+// default seed and full window.
+func NewStudy(connsPerMonth int) *Study {
+	return &Study{Options: simulate.DefaultOptions(connsPerMonth)}
+}
+
+// Run executes the simulation and aggregation. When logWriter is non-nil
+// every connection record is additionally streamed to it as a Bro-style TSV
+// log.
+func (s *Study) Run(logWriter io.Writer) error {
+	sim := simulate.New(s.Options)
+	agg := notary.NewAggregate()
+	var lw *notary.LogWriter
+	if logWriter != nil {
+		lw = notary.NewLogWriter(logWriter)
+	}
+	err := sim.Run(func(r *notary.Record) {
+		agg.Add(r)
+		if lw != nil {
+			_ = lw.Write(r)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return err
+		}
+	}
+	s.agg = agg
+	s.db = fingerprint.BuildDefault()
+	return nil
+}
+
+// LoadLog rebuilds a study from a previously written TSV log instead of
+// re-simulating — the post-hoc analysis path.
+func (s *Study) LoadLog(r io.Reader) error {
+	agg := notary.NewAggregate()
+	err := notary.ReadLog(r, func(rec notary.Record) error {
+		agg.Add(&rec)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.agg = agg
+	s.db = fingerprint.BuildDefault()
+	return nil
+}
+
+// Aggregate exposes the raw monthly statistics; nil before Run.
+func (s *Study) Aggregate() *notary.Aggregate { return s.agg }
+
+// FingerprintDB exposes the §4 fingerprint database; nil before Run.
+func (s *Study) FingerprintDB() *fingerprint.DB { return s.db }
+
+func (s *Study) mustAgg() (*notary.Aggregate, error) {
+	if s.agg == nil {
+		return nil, fmt.Errorf("core: study has not been run")
+	}
+	return s.agg, nil
+}
+
+// Figures builds all ten passive figures.
+func (s *Study) Figures() ([]analysis.Figure, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AllFigures(agg), nil
+}
+
+// Figure builds figure n (1–10).
+func (s *Study) Figure(n int) (analysis.Figure, error) {
+	figs, err := s.Figures()
+	if err != nil {
+		return analysis.Figure{}, err
+	}
+	if n < 1 || n > len(figs) {
+		return analysis.Figure{}, fmt.Errorf("core: no figure %d", n)
+	}
+	return figs[n-1], nil
+}
+
+// Scalars returns the passive and fingerprint scalar findings.
+func (s *Study) Scalars() ([]analysis.Scalar, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return nil, err
+	}
+	out := analysis.PassiveScalars(agg)
+	out = append(out, analysis.FingerprintScalars(agg)...)
+	return out, nil
+}
+
+// Table2 reproduces the fingerprint summary table.
+func (s *Study) Table2() (analysis.Table2Report, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return analysis.Table2Report{}, err
+	}
+	return analysis.BuildTable2(agg, s.db), nil
+}
+
+// ExtensionFigure builds the §9 extension-uptake figure (Figure E1).
+func (s *Study) ExtensionFigure() (analysis.Figure, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return analysis.Figure{}, err
+	}
+	return analysis.ExtensionUptake(agg), nil
+}
+
+// TLS13Variants returns the advertised TLS 1.3 variant split (§6.4).
+func (s *Study) TLS13Variants() ([]analysis.TLS13VariantShare, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.TLS13VariantShares(agg), nil
+}
+
+// FingerprintDurations returns the §4.1 lifetime statistics.
+func (s *Study) FingerprintDurations() (fingerprint.DurationStats, error) {
+	agg, err := s.mustAgg()
+	if err != nil {
+		return fingerprint.DurationStats{}, err
+	}
+	return fingerprint.ComputeDurationStats(agg.FPDurations()), nil
+}
+
+// Static table reproductions (no simulation needed).
+
+// Table1 returns the version release dates.
+func Table1() []struct {
+	Version registry.Version
+	Name    string
+	Date    registry.ReleaseDate
+} {
+	return registry.VersionReleases()
+}
+
+// Table3 returns the browser CBC-count change rows.
+func Table3() []clientdb.TableRow { return clientdb.Table3CBC() }
+
+// Table4 returns the browser RC4 change rows.
+func Table4() []clientdb.TableRow { return clientdb.Table4RC4() }
+
+// Table5 returns the browser 3DES change rows.
+func Table5() []clientdb.TableRow { return clientdb.Table53DES() }
+
+// Table6 returns the browser version-support rows.
+func Table6() []clientdb.VersionSupportRow { return clientdb.Table6Versions() }
+
+// ScanCampaign orchestrates an active Censys-style sweep: it samples a farm
+// of server configurations from the host-census universe at a given date,
+// binds them to loopback TCP listeners and runs every probe against them.
+type ScanCampaign struct {
+	// Date selects the population snapshot (e.g. Sep 2015 vs May 2018).
+	Date timeline.Date
+	// Hosts is the farm size.
+	Hosts int
+	// Workers is the scanner pool width.
+	Workers int
+	// Seed drives the population sampling.
+	Seed int64
+	// Timeout bounds each probe connection.
+	Timeout time.Duration
+	// PopularityWeighted samples the farm from the traffic universe instead
+	// of the host census — the Alexa-Top-1M flavour of the Censys scans
+	// (§3.2): popular sites are more modern than the average IPv4 host.
+	PopularityWeighted bool
+}
+
+// CampaignReport aggregates one campaign.
+type CampaignReport struct {
+	Date   timeline.Date
+	Hosts  int
+	Probes map[string]scanner.Summary
+	// VulnerableHosts counts hosts the Heartbleed exploit check actually
+	// over-read: the scanner negotiates heartbeat and sends a request whose
+	// claimed length exceeds its payload, exactly as the §5.4 scans did.
+	VulnerableHosts int
+	// GroundTruthVulnerable counts farm hosts configured as unpatched; the
+	// exploit check must agree with it (cross-validated in tests).
+	GroundTruthVulnerable int
+	// LeakedBytes totals the memory over-read across vulnerable hosts.
+	LeakedBytes int
+}
+
+// Frac is a convenience percentage over farm hosts.
+func (r *CampaignReport) Frac(n int) float64 {
+	if r.Hosts == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(r.Hosts)
+}
+
+// SSL3SupportPct returns the §5.1 metric: hosts answering the SSL3-only probe.
+func (r *CampaignReport) SSL3SupportPct() float64 {
+	return r.Frac(r.Probes["ssl3only"].Answered)
+}
+
+// RC4ChosenPct returns the §5.3 metric: hosts choosing RC4 against the
+// Chrome-2015 list.
+func (r *CampaignReport) RC4ChosenPct() float64 {
+	return r.Frac(r.Probes["chrome2015"].ChoseRC4)
+}
+
+// CBCChosenPct returns the §5.2 metric.
+func (r *CampaignReport) CBCChosenPct() float64 {
+	return r.Frac(r.Probes["chrome2015"].CBCTotal())
+}
+
+// TDESChosenPct returns the §5.6 metric.
+func (r *CampaignReport) TDESChosenPct() float64 {
+	return r.Frac(r.Probes["chrome2015"].Chose3DES)
+}
+
+// HeartbeatSupportPct returns the §5.4 extension-support metric.
+func (r *CampaignReport) HeartbeatSupportPct() float64 {
+	return r.Frac(r.Probes["chrome2015"].HeartbeatAck)
+}
+
+// ExportSupportPct returns the §5.5 metric: hosts answering the export-only
+// probe with an export suite.
+func (r *CampaignReport) ExportSupportPct() float64 {
+	return r.Frac(r.Probes["exportonly"].ChoseExport)
+}
+
+// HeartbleedVulnerablePct returns the §5.4 vulnerability metric, from the
+// live exploit check.
+func (r *CampaignReport) HeartbleedVulnerablePct() float64 {
+	return r.Frac(r.VulnerableHosts)
+}
+
+// RC4SupportPct returns the SSL-Pulse-style §5.3 metric: hosts answering an
+// RC4-only offer.
+func (r *CampaignReport) RC4SupportPct() float64 {
+	return r.Frac(r.Probes["rc4only"].Answered)
+}
+
+// Run executes the campaign.
+func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
+	if c.Hosts <= 0 {
+		c.Hosts = 200
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 3 * time.Second
+	}
+	rnd := rand.New(rand.NewSource(c.Seed))
+	servers := population.DefaultServers()
+	universe := population.ByHosts
+	if c.PopularityWeighted {
+		universe = population.ByTraffic
+	}
+
+	configs := make([]*handshake.ServerConfig, c.Hosts)
+	cohorts := make([]string, c.Hosts)
+	groundTruth := 0
+	for i := 0; i < c.Hosts; i++ {
+		cohort, cfg := servers.Sample(c.Date, universe, rnd)
+		configs[i] = cfg
+		cohorts[i] = cohort.Name
+		if cfg.HeartbleedVulnerable {
+			groundTruth++
+		}
+	}
+	farm, err := serverfarm.StartFarm(configs, cohorts, c.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer farm.Close()
+
+	report := &CampaignReport{
+		Date:                  c.Date,
+		Hosts:                 c.Hosts,
+		Probes:                make(map[string]scanner.Summary),
+		GroundTruthVulnerable: groundTruth,
+	}
+	sc := scanner.New(c.Workers)
+	sc.Timeout = c.Timeout
+	for _, probe := range scanner.AllProbes() {
+		hello := probe.Build(rnd)
+		results, err := sc.Scan(ctx, farm.Addrs(), hello)
+		if err != nil {
+			return nil, fmt.Errorf("core: probe %s: %w", probe.Name, err)
+		}
+		report.Probes[probe.Name] = scanner.Summarize(results)
+	}
+
+	// The live Heartbleed exploit check (§5.4).
+	hb, err := sc.ScanHeartbleed(ctx, farm.Addrs())
+	if err != nil {
+		return nil, fmt.Errorf("core: heartbleed check: %w", err)
+	}
+	for _, r := range hb {
+		if r.Vulnerable {
+			report.VulnerableHosts++
+			report.LeakedBytes += r.LeakedBytes
+		}
+	}
+	return report, nil
+}
+
+// ScanScalars compares two campaign snapshots against the paper's Censys
+// numbers (experiments S1–S4).
+func ScanScalars(sep2015, may2018 *CampaignReport) []analysis.Scalar {
+	return []analysis.Scalar{
+		{ID: "S1a", Name: "SSL3 server support, Sep 2015", Paper: 45, Measured: sep2015.SSL3SupportPct(), Unit: "%"},
+		{ID: "S1b", Name: "SSL3 server support, May 2018", Paper: 25, Measured: may2018.SSL3SupportPct(), Unit: "%"},
+		{ID: "S2a", Name: "servers choosing RC4, Sep 2015", Paper: 11.2, Measured: sep2015.RC4ChosenPct(), Unit: "%"},
+		{ID: "S2b", Name: "servers choosing RC4, May 2018", Paper: 3.4, Measured: may2018.RC4ChosenPct(), Unit: "%"},
+		{ID: "S2c", Name: "servers choosing CBC, Sep 2015", Paper: 54, Measured: sep2015.CBCChosenPct(), Unit: "%"},
+		{ID: "S2e", Name: "RC4 supported (SSL Pulse), May 2018", Paper: 19.1, Measured: may2018.RC4SupportPct(), Unit: "%"},
+		{ID: "S2d", Name: "servers choosing CBC, May 2018", Paper: 35, Measured: may2018.CBCChosenPct(), Unit: "%"},
+		{ID: "S3a", Name: "heartbeat support, May 2018", Paper: 34, Measured: may2018.HeartbeatSupportPct(), Unit: "%"},
+		{ID: "S3b", Name: "Heartbleed vulnerable, May 2018", Paper: 0.32, Measured: may2018.HeartbleedVulnerablePct(), Unit: "%"},
+		{ID: "S4a", Name: "servers choosing 3DES, Aug 2015", Paper: 0.54, Measured: sep2015.TDESChosenPct(), Unit: "%"},
+		{ID: "S4b", Name: "servers choosing 3DES, May 2018", Paper: 0.25, Measured: may2018.TDESChosenPct(), Unit: "%"},
+	}
+}

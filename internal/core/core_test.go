@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+var (
+	studyOnce sync.Once
+	study     *Study
+)
+
+func sharedStudy(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		study = NewStudy(300)
+		if err := study.Run(nil); err != nil {
+			panic(err)
+		}
+	})
+	return study
+}
+
+func TestStudyLifecycle(t *testing.T) {
+	s := NewStudy(10)
+	if _, err := s.Figures(); err == nil {
+		t.Error("figures before Run should error")
+	}
+	if _, err := s.Scalars(); err == nil {
+		t.Error("scalars before Run should error")
+	}
+	if _, err := s.Table2(); err == nil {
+		t.Error("table2 before Run should error")
+	}
+	if _, err := s.FingerprintDurations(); err == nil {
+		t.Error("durations before Run should error")
+	}
+}
+
+func TestStudyFiguresAndScalars(t *testing.T) {
+	s := sharedStudy(t)
+	figs, err := s.Figures()
+	if err != nil || len(figs) != 10 {
+		t.Fatalf("figures: %v (%d)", err, len(figs))
+	}
+	fig, err := s.Figure(1)
+	if err != nil || fig.ID != "Figure 1" {
+		t.Errorf("Figure(1): %v %s", err, fig.ID)
+	}
+	if _, err := s.Figure(0); err == nil {
+		t.Error("Figure(0) should error")
+	}
+	if _, err := s.Figure(11); err == nil {
+		t.Error("Figure(11) should error")
+	}
+	scalars, err := s.Scalars()
+	if err != nil || len(scalars) < 15 {
+		t.Errorf("scalars: %v (%d)", err, len(scalars))
+	}
+	rep, err := s.Table2()
+	if err != nil || rep.TotalFPs == 0 {
+		t.Errorf("table2: %v", err)
+	}
+	st, err := s.FingerprintDurations()
+	if err != nil || st.Total == 0 {
+		t.Errorf("durations: %v", err)
+	}
+	if s.Aggregate() == nil || s.FingerprintDB() == nil {
+		t.Error("accessors nil after Run")
+	}
+}
+
+func TestStudyLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStudy(40)
+	s.Options.End = timeline.M(2012, time.December)
+	if err := s.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	direct := s.Aggregate().TotalRecords()
+
+	var s2 Study
+	if err := s2.LoadLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Aggregate().TotalRecords() != direct {
+		t.Errorf("log reload: %d records, want %d", s2.Aggregate().TotalRecords(), direct)
+	}
+	// Monthly stats agree.
+	m := timeline.M(2012, time.June)
+	a, b := s.Aggregate().Stats(m), s2.Aggregate().Stats(m)
+	if a.Total != b.Total || a.Established != b.Established || a.AdvRC4 != b.AdvRC4 {
+		t.Error("reloaded aggregate differs")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if len(Table1()) != 6 {
+		t.Error("Table 1 rows")
+	}
+	if len(Table3()) < 15 {
+		t.Error("Table 3 rows")
+	}
+	if len(Table4()) < 10 {
+		t.Error("Table 4 rows")
+	}
+	if len(Table5()) < 6 {
+		t.Error("Table 5 rows")
+	}
+	if len(Table6()) < 10 {
+		t.Error("Table 6 rows")
+	}
+}
+
+func TestScanCampaignTwoSnapshots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network farm test")
+	}
+	run := func(d timeline.Date) *CampaignReport {
+		c := &ScanCampaign{Date: d, Hosts: 250, Workers: 24, Seed: 7, Timeout: 3 * time.Second}
+		rep, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	sep15 := run(timeline.D(2015, time.September, 15))
+	may18 := run(timeline.D(2018, time.May, 13))
+
+	// §5.1: SSL3 support declines, in the paper's ranges.
+	if got := sep15.SSL3SupportPct(); got < 34 || got > 58 {
+		t.Errorf("SSL3 support Sep 2015 = %0.1f%%, want ≈45%%", got)
+	}
+	if got := may18.SSL3SupportPct(); got > 32 {
+		t.Errorf("SSL3 support May 2018 = %0.1f%%, want <25%%", got)
+	}
+	if may18.SSL3SupportPct() >= sep15.SSL3SupportPct() {
+		t.Error("SSL3 support should decline")
+	}
+	// §5.3: RC4 chosen declines ≈11.2% → ≈3.4%.
+	if got := sep15.RC4ChosenPct(); got < 6 || got > 17 {
+		t.Errorf("RC4 chosen Sep 2015 = %0.1f%%, want ≈11%%", got)
+	}
+	if got := may18.RC4ChosenPct(); got > 8 {
+		t.Errorf("RC4 chosen May 2018 = %0.1f%%, want ≈3.4%%", got)
+	}
+	// §5.2: CBC chosen declines ≈54% → ≈35%.
+	if got := sep15.CBCChosenPct(); got < 40 || got > 68 {
+		t.Errorf("CBC chosen Sep 2015 = %0.1f%%, want ≈54%%", got)
+	}
+	if got := may18.CBCChosenPct(); got < 20 || got > 50 {
+		t.Errorf("CBC chosen May 2018 = %0.1f%%, want ≈35%%", got)
+	}
+	// §5.4: heartbeat ≈34% in 2018; vulnerability ≈0.32% (sampling noise at
+	// 250 hosts allows 0–2 hosts).
+	if got := may18.HeartbeatSupportPct(); got < 18 || got > 50 {
+		t.Errorf("heartbeat support 2018 = %0.1f%%, want ≈34%%", got)
+	}
+	if got := may18.HeartbleedVulnerablePct(); got > 3 {
+		t.Errorf("Heartbleed vulnerable 2018 = %0.1f%%, want ≈0.3%%", got)
+	}
+	// Export support exists but is not universal.
+	if got := sep15.ExportSupportPct(); got <= 0 || got > 60 {
+		t.Errorf("export support Sep 2015 = %0.1f%%", got)
+	}
+
+	scalars := ScanScalars(sep15, may18)
+	if len(scalars) != 11 {
+		t.Fatalf("scan scalars: %d", len(scalars))
+	}
+	for _, s := range scalars {
+		if s.ID == "" || s.Name == "" {
+			t.Errorf("malformed scalar %+v", s)
+		}
+	}
+}
+
+func TestCampaignReportFracEmpty(t *testing.T) {
+	r := &CampaignReport{}
+	if r.Frac(5) != 0 {
+		t.Error("empty report Frac should be 0")
+	}
+}
+
+func TestHeartbleedCheckMatchesGroundTruth(t *testing.T) {
+	// The live exploit check over the farm must find exactly the hosts the
+	// population configured as unpatched.
+	c := &ScanCampaign{Date: timeline.D(2014, time.April, 20), Hosts: 300, Workers: 24, Seed: 3}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VulnerableHosts != rep.GroundTruthVulnerable {
+		t.Errorf("exploit check found %d vulnerable hosts, ground truth %d",
+			rep.VulnerableHosts, rep.GroundTruthVulnerable)
+	}
+	// Mid-April 2014: disclosure was days ago, patching underway but far
+	// from done — a meaningful fraction must still be vulnerable.
+	if rep.HeartbleedVulnerablePct() < 2 {
+		t.Errorf("vulnerable ≈2 weeks after disclosure = %0.1f%%, want >2%%", rep.HeartbleedVulnerablePct())
+	}
+	if rep.VulnerableHosts > 0 && rep.LeakedBytes == 0 {
+		t.Error("vulnerable hosts leaked no bytes")
+	}
+	// SSL-Pulse-style RC4 support: most hosts still answer RC4-only in 2014.
+	if got := rep.RC4SupportPct(); got < 40 {
+		t.Errorf("RC4 support Apr 2014 = %0.1f%%, want high", got)
+	}
+}
+
+func TestExtensionFigureAndVariants(t *testing.T) {
+	s := sharedStudy(t)
+	fig, err := s.ExtensionFigure()
+	if err != nil || fig.ID != "Figure E1" {
+		t.Fatalf("extension figure: %v %s", err, fig.ID)
+	}
+	shares, err := s.TLS13Variants()
+	if err != nil || len(shares) == 0 {
+		t.Fatalf("variant shares: %v", err)
+	}
+	// §6.4: the Google experimental variant dominates advertised variants.
+	if shares[0].Variant != registry.VersionTLS13Google {
+		t.Errorf("top variant = %v, want 0x7e02", shares[0].Variant)
+	}
+	sum := 0.0
+	for _, v := range shares {
+		sum += v.Share
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("variant shares sum to %0.1f", sum)
+	}
+	// Before Run, both error.
+	var empty Study
+	if _, err := empty.ExtensionFigure(); err == nil {
+		t.Error("extension figure before Run should error")
+	}
+	if _, err := empty.TLS13Variants(); err == nil {
+		t.Error("variants before Run should error")
+	}
+}
+
+func TestPopularityWeightedCampaign(t *testing.T) {
+	// The Alexa-style flavour samples the traffic universe: popular sites
+	// are more modern, so SSL3 support is lower than in the host census.
+	date := timeline.D(2016, time.June, 15)
+	census := &ScanCampaign{Date: date, Hosts: 250, Workers: 24, Seed: 5}
+	alexa := &ScanCampaign{Date: date, Hosts: 250, Workers: 24, Seed: 5, PopularityWeighted: true}
+	cRep, err := census.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRep, err := alexa.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRep.SSL3SupportPct() >= cRep.SSL3SupportPct() {
+		t.Errorf("Alexa SSL3 support (%0.1f%%) should be below census (%0.1f%%)",
+			aRep.SSL3SupportPct(), cRep.SSL3SupportPct())
+	}
+	if aRep.RC4ChosenPct() > cRep.RC4ChosenPct() {
+		t.Errorf("Alexa RC4 choice (%0.1f%%) should not exceed census (%0.1f%%)",
+			aRep.RC4ChosenPct(), cRep.RC4ChosenPct())
+	}
+}
+
+func TestScanSweepDeclines(t *testing.T) {
+	sweep := &ScanSweep{
+		Start:            timeline.M(2015, time.September),
+		End:              timeline.M(2018, time.March),
+		StepMonths:       10,
+		HostsPerSnapshot: 180,
+		Workers:          24,
+		Seed:             11,
+	}
+	points, err := sweep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d snapshots", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.SSL3Support >= first.SSL3Support {
+		t.Errorf("SSL3 support should decline: %0.1f → %0.1f", first.SSL3Support, last.SSL3Support)
+	}
+	if last.RC4Supported >= first.RC4Supported {
+		t.Errorf("RC4 support should decline: %0.1f → %0.1f", first.RC4Supported, last.RC4Supported)
+	}
+	if last.CBCChosen >= first.CBCChosen {
+		t.Errorf("CBC choice should decline: %0.1f → %0.1f", first.CBCChosen, last.CBCChosen)
+	}
+	var buf bytes.Buffer
+	if err := RenderSweep(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2015-09") {
+		t.Error("sweep rendering incomplete")
+	}
+}

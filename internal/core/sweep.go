@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"tlsage/internal/timeline"
+)
+
+// ScanSweep runs a sequence of scan campaigns across the Censys observation
+// window (Aug 2015 – May 2018, §3.2), producing the temporal view of server
+// behaviour the paper draws its §5 server-side conclusions from.
+type ScanSweep struct {
+	// Start and End bound the sweep (inclusive); defaults: Aug 2015 and
+	// May 2018.
+	Start, End timeline.Month
+	// StepMonths is the snapshot spacing; default 3.
+	StepMonths int
+	// HostsPerSnapshot is the farm size per snapshot; default 150.
+	HostsPerSnapshot int
+	// Workers, Seed, Timeout as in ScanCampaign.
+	Workers int
+	Seed    int64
+	Timeout time.Duration
+	// PopularityWeighted selects the Alexa-style universe.
+	PopularityWeighted bool
+}
+
+// SweepPoint is one snapshot's server-side metrics.
+type SweepPoint struct {
+	Month            timeline.Month
+	SSL3Support      float64
+	RC4Chosen        float64
+	RC4Supported     float64
+	CBCChosen        float64
+	TDESChosen       float64
+	HeartbeatSupport float64
+	Heartbleed       float64
+	ExportSupport    float64
+}
+
+// Run executes the sweep.
+func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
+	if s.Start == (timeline.Month{}) {
+		s.Start = timeline.M(2015, time.August)
+	}
+	if s.End == (timeline.Month{}) {
+		s.End = timeline.M(2018, time.May)
+	}
+	if s.StepMonths <= 0 {
+		s.StepMonths = 3
+	}
+	if s.HostsPerSnapshot <= 0 {
+		s.HostsPerSnapshot = 150
+	}
+	var out []SweepPoint
+	for m := s.Start; !s.End.Before(m); m = m.AddMonths(s.StepMonths) {
+		campaign := &ScanCampaign{
+			Date:               m.Mid(),
+			Hosts:              s.HostsPerSnapshot,
+			Workers:            s.Workers,
+			Seed:               s.Seed + int64(m.Index()),
+			Timeout:            s.Timeout,
+			PopularityWeighted: s.PopularityWeighted,
+		}
+		rep, err := campaign.Run(ctx)
+		if err != nil {
+			return out, fmt.Errorf("core: sweep at %v: %w", m, err)
+		}
+		out = append(out, SweepPoint{
+			Month:            m,
+			SSL3Support:      rep.SSL3SupportPct(),
+			RC4Chosen:        rep.RC4ChosenPct(),
+			RC4Supported:     rep.RC4SupportPct(),
+			CBCChosen:        rep.CBCChosenPct(),
+			TDESChosen:       rep.TDESChosenPct(),
+			HeartbeatSupport: rep.HeartbeatSupportPct(),
+			Heartbleed:       rep.HeartbleedVulnerablePct(),
+			ExportSupport:    rep.ExportSupportPct(),
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep writes the sweep as an aligned table.
+func RenderSweep(w io.Writer, points []SweepPoint) error {
+	if _, err := fmt.Fprintf(w, "%-8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"month", "ssl3", "rc4sel", "rc4sup", "cbc", "3des", "hb", "bleed", "export"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-8s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			p.Month, p.SSL3Support, p.RC4Chosen, p.RC4Supported, p.CBCChosen,
+			p.TDESChosen, p.HeartbeatSupport, p.Heartbleed, p.ExportSupport); err != nil {
+			return err
+		}
+	}
+	return nil
+}

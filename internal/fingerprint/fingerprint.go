@@ -1,0 +1,73 @@
+// Package fingerprint implements §4 of the paper: TLS client fingerprints
+// built from the Client Hello, the fingerprint database with its collision
+// rules, and the §4.1 lifetime statistics.
+//
+// A fingerprint is the concatenation of four features in wire order: the
+// cipher-suite list, the client extension list, the supported elliptic
+// curves, and the EC point formats. GREASE values are identified and removed
+// first, exactly as the paper does for Chrome-lineage clients.
+package fingerprint
+
+import (
+	"fmt"
+	"strings"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/wire"
+)
+
+// Fingerprint is the canonical string form of a client fingerprint. It is
+// stable across runs and usable as a map key and log token.
+type Fingerprint string
+
+// FromParts computes the fingerprint from the four Client Hello features.
+// All inputs are taken in wire order; GREASE values are stripped.
+func FromParts(suites []uint16, exts []registry.ExtensionID, curves []registry.CurveID, pfs []registry.ECPointFormat) Fingerprint {
+	var b strings.Builder
+	b.Grow(4*len(suites) + 4*len(exts) + 4*len(curves) + 2*len(pfs) + 16)
+	b.WriteString("cs:")
+	writeHex16(&b, registry.StripGREASE16(suites))
+	b.WriteString("|ext:")
+	extsClean := registry.StripGREASEExt(exts)
+	u := make([]uint16, len(extsClean))
+	for i, e := range extsClean {
+		u[i] = uint16(e)
+	}
+	writeHex16(&b, u)
+	b.WriteString("|grp:")
+	curvesClean := registry.StripGREASECurves(curves)
+	u = u[:0]
+	for _, c := range curvesClean {
+		u = append(u, uint16(c))
+	}
+	writeHex16(&b, u)
+	b.WriteString("|pf:")
+	u = u[:0]
+	for _, p := range pfs {
+		u = append(u, uint16(p))
+	}
+	writeHex16(&b, u)
+	return Fingerprint(b.String())
+}
+
+func writeHex16(b *strings.Builder, vals []uint16) {
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%04x", v)
+	}
+}
+
+// FromClientHello computes the fingerprint of a parsed hello.
+func FromClientHello(ch *wire.ClientHello) Fingerprint {
+	return FromParts(ch.CipherSuites, ch.ExtensionIDs(), ch.SupportedGroups(), ch.ECPointFormats())
+}
+
+// Usable reports whether a hello carries enough of the §4 feature set to be
+// fingerprinted meaningfully. The paper requires the fingerprinting fields
+// introduced into the Notary in February 2014; here the proxy is a non-empty
+// cipher list.
+func Usable(suites []uint16) bool {
+	return len(registry.StripGREASE16(suites)) > 0
+}

@@ -1,0 +1,300 @@
+package notary
+
+import (
+	"sort"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+func timeMonth(m int) time.Month { return time.Month(m) }
+
+// MonthStats accumulates everything the paper's figures need for one
+// calendar month. All percentage series in the figure renderers derive from
+// these counters.
+type MonthStats struct {
+	Month timeline.Month
+
+	Total       int
+	Established int
+
+	// Negotiated parameters (established connections only).
+	ByVersion map[registry.Version]int // canonical versions
+	ByClass   map[string]int           // AEAD / CBC / RC4 / other
+	ByKex     map[registry.KeyExchange]int
+	BySuite   map[uint16]int
+	ByCurve   map[registry.CurveID]int
+
+	// Client advertisement counters (all observed hellos).
+	AdvRC4, AdvDES, Adv3DES, AdvAEAD  int
+	AdvExport, AdvAnon, AdvNULL       int
+	AdvAESGCM128, AdvAESGCM256        int
+	AdvChaCha, AdvCCM                 int
+	AdvTLS13                          int
+	TLS13Variant                      map[registry.Version]int
+	OffersHeartbeatN, HeartbeatAckN   int
+	NULLNegotiated, AnonNegotiated    int
+	ExportNegotiated, UnofferedChoice int
+	SSLv2Hellos                       int
+
+	// Position sums for Figure 5: relative position (0..1) of the first
+	// suite of each class in client lists, summed; denominators per class.
+	PosSum   map[string]float64
+	PosCount map[string]int
+
+	// ByExtension counts connections advertising each extension (GREASE
+	// stripped) — the §9 deployment-tracking data (renegotiation_info,
+	// encrypt_then_mac, ...).
+	ByExtension map[registry.ExtensionID]int
+
+	// Distinct fingerprints and their capability flags (Figure 4).
+	FPs map[string]*FPCaps
+}
+
+// FPCaps records the suite classes a fingerprint's cipher list contains.
+type FPCaps struct {
+	RC4, DES, TDES, AEAD, NULLc, Anon, Export bool
+	Count                                     int
+}
+
+// newMonthStats allocates the counter maps.
+func newMonthStats(m timeline.Month) *MonthStats {
+	return &MonthStats{
+		Month:        m,
+		ByVersion:    make(map[registry.Version]int),
+		ByClass:      make(map[string]int),
+		ByKex:        make(map[registry.KeyExchange]int),
+		BySuite:      make(map[uint16]int),
+		ByCurve:      make(map[registry.CurveID]int),
+		TLS13Variant: make(map[registry.Version]int),
+		ByExtension:  make(map[registry.ExtensionID]int),
+		PosSum:       make(map[string]float64),
+		PosCount:     make(map[string]int),
+		FPs:          make(map[string]*FPCaps),
+	}
+}
+
+// Pct returns 100·n/Total, 0 for empty months.
+func (ms *MonthStats) Pct(n int) float64 {
+	if ms.Total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(ms.Total)
+}
+
+// PctEstablished returns 100·n/Established.
+func (ms *MonthStats) PctEstablished(n int) float64 {
+	if ms.Established == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(ms.Established)
+}
+
+// Aggregate is a streaming monthly aggregator: feed it Records in any order
+// and read per-month statistics back.
+type Aggregate struct {
+	months map[timeline.Month]*MonthStats
+	// FP lifetime tracking for §4.1.
+	fpFirst, fpLast map[string]timeline.Date
+	fpConns         map[string]int64
+}
+
+// NewAggregate returns an empty aggregator.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		months:  make(map[timeline.Month]*MonthStats),
+		fpFirst: make(map[string]timeline.Date),
+		fpLast:  make(map[string]timeline.Date),
+		fpConns: make(map[string]int64),
+	}
+}
+
+// Add ingests one record.
+func (a *Aggregate) Add(r *Record) {
+	m := timeline.MonthOf(r.Date)
+	ms, ok := a.months[m]
+	if !ok {
+		ms = newMonthStats(m)
+		a.months[m] = ms
+	}
+	ms.Total++
+	if r.SSLv2Hello {
+		ms.SSLv2Hellos++
+	}
+
+	// Advertisement counters, GREASE-stripped.
+	suites := registry.StripGREASE16(r.ClientSuites)
+	adv := func(pred func(registry.Suite) bool) bool { return registry.ListHas(suites, pred) }
+	if adv(registry.Suite.IsRC4) {
+		ms.AdvRC4++
+	}
+	if adv(registry.Suite.IsDES) {
+		ms.AdvDES++
+	}
+	if adv(registry.Suite.Is3DES) {
+		ms.Adv3DES++
+	}
+	if adv(registry.Suite.IsAEAD) {
+		ms.AdvAEAD++
+	}
+	if adv(registry.Suite.IsExport) {
+		ms.AdvExport++
+	}
+	if adv(registry.Suite.IsAnon) {
+		ms.AdvAnon++
+	}
+	if adv(registry.Suite.IsNULLCipher) {
+		ms.AdvNULL++
+	}
+	if adv(func(s registry.Suite) bool { return s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES128 }) {
+		ms.AdvAESGCM128++
+	}
+	if adv(func(s registry.Suite) bool { return s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES256 }) {
+		ms.AdvAESGCM256++
+	}
+	if adv(func(s registry.Suite) bool { return s.Cipher == registry.CipherChaCha20 }) {
+		ms.AdvChaCha++
+	}
+	if adv(func(s registry.Suite) bool { return s.Mode == registry.ModeCCM || s.Mode == registry.ModeCCM8 }) {
+		ms.AdvCCM++
+	}
+	if r.SupportsTLS13() {
+		ms.AdvTLS13++
+		if v := r.AdvertisedTLS13Variant(); v != 0 {
+			ms.TLS13Variant[v]++
+		}
+	}
+	if r.OffersHeartbeat {
+		ms.OffersHeartbeatN++
+	}
+	for _, e := range registry.StripGREASEExt(r.ClientExtensions) {
+		ms.ByExtension[e]++
+	}
+
+	// Figure 5 positions.
+	if n := len(suites); n > 1 {
+		for class, pred := range positionClasses {
+			if idx := registry.FirstIndexWhere(suites, pred); idx >= 0 {
+				ms.PosSum[class] += float64(idx) / float64(n-1)
+				ms.PosCount[class]++
+			}
+		}
+	}
+
+	// Fingerprint capabilities.
+	if r.Fingerprint != "" {
+		caps, ok := ms.FPs[r.Fingerprint]
+		if !ok {
+			caps = &FPCaps{
+				RC4:    adv(registry.Suite.IsRC4),
+				DES:    adv(registry.Suite.IsDES),
+				TDES:   adv(registry.Suite.Is3DES),
+				AEAD:   adv(registry.Suite.IsAEAD),
+				NULLc:  adv(registry.Suite.IsNULLCipher),
+				Anon:   adv(registry.Suite.IsAnon),
+				Export: adv(registry.Suite.IsExport),
+			}
+			ms.FPs[r.Fingerprint] = caps
+		}
+		caps.Count++
+		if _, seen := a.fpFirst[r.Fingerprint]; !seen {
+			a.fpFirst[r.Fingerprint] = r.Date
+			a.fpLast[r.Fingerprint] = r.Date
+		} else {
+			if r.Date.After(a.fpLast[r.Fingerprint]) {
+				a.fpLast[r.Fingerprint] = r.Date
+			}
+			if a.fpFirst[r.Fingerprint].After(r.Date) {
+				a.fpFirst[r.Fingerprint] = r.Date
+			}
+		}
+		a.fpConns[r.Fingerprint]++
+	}
+
+	// Negotiated side.
+	if !r.Established {
+		return
+	}
+	ms.Established++
+	ms.ByVersion[r.Version.Canonical()]++
+	if s, ok := registry.SuiteByID(r.Suite); ok {
+		ms.ByClass[s.TrafficClass()]++
+		ms.ByKex[s.Kex]++
+		ms.BySuite[r.Suite]++
+		if s.IsNULLCipher() {
+			ms.NULLNegotiated++
+		}
+		if s.IsAnon() {
+			ms.AnonNegotiated++
+		}
+		if s.IsExport() {
+			ms.ExportNegotiated++
+		}
+	}
+	if r.Curve != 0 {
+		ms.ByCurve[r.Curve]++
+	}
+	if r.HeartbeatAck {
+		ms.HeartbeatAckN++
+	}
+	if r.SuiteUnoffer {
+		ms.UnofferedChoice++
+	}
+}
+
+// positionClasses are the Figure 5 suite classes.
+var positionClasses = map[string]func(registry.Suite) bool{
+	"AEAD": registry.Suite.IsAEAD,
+	"CBC":  registry.Suite.IsCBC,
+	"RC4":  registry.Suite.IsRC4,
+	"DES":  registry.Suite.IsDES,
+	"3DES": registry.Suite.Is3DES,
+}
+
+// Months returns the observed months in chronological order.
+func (a *Aggregate) Months() []timeline.Month {
+	out := make([]timeline.Month, 0, len(a.months))
+	for m := range a.months {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Stats returns the stats for month m, or nil when unobserved.
+func (a *Aggregate) Stats(m timeline.Month) *MonthStats { return a.months[m] }
+
+// TotalRecords sums Total over all months.
+func (a *Aggregate) TotalRecords() int {
+	n := 0
+	for _, ms := range a.months {
+		n += ms.Total
+	}
+	return n
+}
+
+// FPDuration describes one fingerprint's observed lifetime (§4.1).
+type FPDuration struct {
+	Fingerprint string
+	First, Last timeline.Date
+	Days        int // inclusive duration: 1 for a single-day fingerprint
+	Connections int64
+}
+
+// FPDurations returns lifetime stats for every fingerprint seen.
+func (a *Aggregate) FPDurations() []FPDuration {
+	out := make([]FPDuration, 0, len(a.fpFirst))
+	for fp, first := range a.fpFirst {
+		last := a.fpLast[fp]
+		out = append(out, FPDuration{
+			Fingerprint: fp,
+			First:       first,
+			Last:        last,
+			Days:        last.DaysSince(first) + 1,
+			Connections: a.fpConns[fp],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}

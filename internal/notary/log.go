@@ -1,0 +1,65 @@
+package notary
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LogWriter streams records to a Bro-style TSV log.
+type LogWriter struct {
+	w       *bufio.Writer
+	wroteHd bool
+	n       int64
+}
+
+// NewLogWriter wraps w.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record (emitting the header first).
+func (lw *LogWriter) Write(r *Record) error {
+	if !lw.wroteHd {
+		if _, err := lw.w.WriteString(Header()); err != nil {
+			return err
+		}
+		lw.wroteHd = true
+	}
+	line := r.AppendTSV(nil)
+	if _, err := lw.w.Write(line); err != nil {
+		return err
+	}
+	lw.n++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (lw *LogWriter) Count() int64 { return lw.n }
+
+// Flush flushes the underlying buffer.
+func (lw *LogWriter) Flush() error { return lw.w.Flush() }
+
+// ReadLog parses a log written by LogWriter, invoking fn per record.
+// Comment lines (#...) are skipped. Parsing stops at the first error.
+func ReadLog(r io.Reader, fn func(Record) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseTSV(line)
+		if err != nil {
+			return fmt.Errorf("notary: line %d: %w", lineNo, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

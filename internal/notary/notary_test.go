@@ -1,0 +1,322 @@
+package notary
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+	"tlsage/internal/wire"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		Date:              timeline.D(2015, time.June, 3),
+		ClientVersion:     registry.VersionTLS12,
+		ClientSuites:      []uint16{0xC02F, 0xC013, 0x0005, 0x000A},
+		ClientExtensions:  []registry.ExtensionID{registry.ExtServerName, registry.ExtSupportedGroups},
+		ClientCurves:      []registry.CurveID{registry.CurveSecp256r1},
+		ClientPointFmts:   []registry.ECPointFormat{registry.PointFormatUncompressed},
+		ClientSupportedVs: []registry.Version{registry.VersionTLS13Google, registry.VersionTLS12},
+		OffersHeartbeat:   true,
+		Established:       true,
+		Version:           registry.VersionTLS12,
+		Suite:             0xC02F,
+		Curve:             registry.CurveSecp256r1,
+		HeartbeatAck:      true,
+		Fingerprint:       "fp-test",
+		TruthClient:       "Chrome",
+		ServerCohort:      "modern-ecdhe",
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	line := string(r.AppendTSV(nil))
+	got, err := ParseTSV(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", *r, got)
+	}
+}
+
+func TestTSVRoundTripEmptyFields(t *testing.T) {
+	r := &Record{
+		Date:          timeline.D(2012, time.February, 1),
+		ClientVersion: registry.VersionTLS10,
+		ClientSuites:  []uint16{0x002F},
+		AlertDesc:     40,
+	}
+	got, err := ParseTSV(string(r.AppendTSV(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", *r, got)
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"too\tfew\tfields",
+		"notadate\tT\t0303\tc02f\t0017\tT\tF\t0\tF\tF\t0303\t-\t-\t-\t-\t-\tT\t-\t-\t-",
+		"2015-06-03\tT\tZZZZ\tc02f\t0017\tT\tF\t0\tF\tF\t0303\t-\t-\t-\t-\t-\tT\t-\t-\t-",
+		"2015-06-03\tT\t0303\tc02f\t0017\tT\tF\t0\tF\tF\t0303\tXY\t-\t-\t-\t-\tT\t-\t-\t-",
+	}
+	for i, c := range cases {
+		if _, err := ParseTSV(c); err == nil {
+			t.Errorf("case %d: bad line parsed", i)
+		}
+	}
+}
+
+func TestObserveWireTLS(t *testing.T) {
+	ch := &wire.ClientHello{
+		Version:      registry.VersionTLS12,
+		CipherSuites: []uint16{0xC02F, 0x0005},
+		Extensions: []wire.Extension{
+			wire.NewSupportedGroupsExtension([]registry.CurveID{registry.CurveX25519}),
+			wire.NewHeartbeatExtension(1),
+			wire.NewSupportedVersionsExtension([]registry.Version{registry.VersionTLS13Draft18}),
+		},
+	}
+	raw, err := ch.AppendRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Record
+	if err := r.ObserveWire(raw); err != nil {
+		t.Fatal(err)
+	}
+	if r.ClientVersion != registry.VersionTLS12 || len(r.ClientSuites) != 2 {
+		t.Errorf("observed %+v", r)
+	}
+	if !r.OffersHeartbeat || !r.SupportsTLS13() {
+		t.Error("extension observation broken")
+	}
+	if r.AdvertisedTLS13Variant() != registry.VersionTLS13Draft18 {
+		t.Errorf("variant = %v", r.AdvertisedTLS13Variant())
+	}
+	if len(r.ClientCurves) != 1 || r.ClientCurves[0] != registry.CurveX25519 {
+		t.Error("curves not observed")
+	}
+}
+
+func TestObserveWireSSLv2(t *testing.T) {
+	v2 := &wire.SSLv2ClientHello{
+		Version:     registry.VersionSSL2,
+		CipherSpecs: []uint32{0x010080, 0x000005},
+		Challenge:   make([]byte, 16),
+	}
+	raw, _ := v2.MarshalBinary()
+	var r Record
+	if err := r.ObserveWire(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SSLv2Hello || len(r.ClientSuites) != 1 || r.ClientSuites[0] != 0x0005 {
+		t.Errorf("sslv2 observation: %+v", r)
+	}
+}
+
+func TestObserveWireRejectsGarbage(t *testing.T) {
+	var r Record
+	if err := r.ObserveWire([]byte{0x16, 0x03}); err == nil {
+		t.Error("truncated record observed")
+	}
+	// Alert record instead of handshake.
+	raw, _ := wire.AppendRecord(nil, wire.ContentAlert, registry.VersionTLS10, []byte{2, 40})
+	if err := r.ObserveWire(raw); err == nil {
+		t.Error("alert record observed as hello")
+	}
+}
+
+func TestAggregateCounters(t *testing.T) {
+	agg := NewAggregate()
+	r1 := sampleRecord()
+	agg.Add(r1)
+	r2 := sampleRecord()
+	r2.Established = false
+	r2.AlertDesc = 40
+	r2.Fingerprint = "fp-other"
+	agg.Add(r2)
+
+	months := agg.Months()
+	if len(months) != 1 {
+		t.Fatalf("months = %v", months)
+	}
+	ms := agg.Stats(months[0])
+	if ms.Total != 2 || ms.Established != 1 {
+		t.Fatalf("total=%d established=%d", ms.Total, ms.Established)
+	}
+	if ms.ByVersion[registry.VersionTLS12] != 1 {
+		t.Error("version counter")
+	}
+	if ms.ByClass["AEAD"] != 1 {
+		t.Error("class counter")
+	}
+	if ms.ByKex[registry.KexECDHE] != 1 {
+		t.Error("kex counter")
+	}
+	if ms.AdvRC4 != 2 || ms.Adv3DES != 2 || ms.AdvAEAD != 2 {
+		t.Error("advertisement counters")
+	}
+	if ms.AdvTLS13 != 2 || ms.TLS13Variant[registry.VersionTLS13Google] != 2 {
+		t.Error("TLS 1.3 advertisement counters")
+	}
+	if ms.OffersHeartbeatN != 2 || ms.HeartbeatAckN != 1 {
+		t.Error("heartbeat counters")
+	}
+	if ms.ByCurve[registry.CurveSecp256r1] != 1 {
+		t.Error("curve counter")
+	}
+	if len(ms.FPs) != 2 {
+		t.Error("fingerprint tracking")
+	}
+	if ms.Pct(1) != 50 || ms.PctEstablished(1) != 100 {
+		t.Error("percentage helpers")
+	}
+}
+
+func TestAggregateGREASEStripped(t *testing.T) {
+	agg := NewAggregate()
+	r := &Record{
+		Date:          timeline.D(2017, time.March, 1),
+		ClientVersion: registry.VersionTLS12,
+		ClientSuites:  []uint16{0x0a0a, 0xC02F},
+		Established:   true, Version: registry.VersionTLS12, Suite: 0xC02F,
+	}
+	agg.Add(r)
+	ms := agg.Stats(timeline.M(2017, time.March))
+	if ms.AdvRC4 != 0 || ms.AdvAEAD != 1 {
+		t.Error("GREASE not stripped in advertisement counting")
+	}
+}
+
+func TestFigure5Positions(t *testing.T) {
+	agg := NewAggregate()
+	// AEAD at position 0, CBC at 1, RC4 at 2, 3DES at 3 of a 4-suite list.
+	r := &Record{
+		Date:          timeline.D(2015, time.January, 10),
+		ClientVersion: registry.VersionTLS12,
+		ClientSuites:  []uint16{0xC02F, 0xC013, 0x0005, 0x000A},
+	}
+	agg.Add(r)
+	ms := agg.Stats(timeline.M(2015, time.January))
+	if got := ms.PosSum["AEAD"] / float64(ms.PosCount["AEAD"]); got != 0 {
+		t.Errorf("AEAD position = %v", got)
+	}
+	if got := ms.PosSum["CBC"] / float64(ms.PosCount["CBC"]); got < 0.32 || got > 0.35 {
+		t.Errorf("CBC position = %v, want 1/3", got)
+	}
+	if got := ms.PosSum["3DES"] / float64(ms.PosCount["3DES"]); got != 1 {
+		t.Errorf("3DES position = %v, want 1 (bottom)", got)
+	}
+	// Note: the CBC class includes the 3DES suite, but the *first* CBC suite
+	// is the AES one at index 1.
+}
+
+func TestFPDurations(t *testing.T) {
+	agg := NewAggregate()
+	mk := func(day int, fp string) *Record {
+		return &Record{
+			Date:          timeline.D(2015, time.June, day),
+			ClientVersion: registry.VersionTLS12,
+			ClientSuites:  []uint16{0x002F},
+			Fingerprint:   fp,
+		}
+	}
+	agg.Add(mk(1, "long"))
+	agg.Add(mk(20, "long"))
+	agg.Add(mk(5, "short"))
+	durs := agg.FPDurations()
+	if len(durs) != 2 {
+		t.Fatalf("durations = %v", durs)
+	}
+	byFP := map[string]FPDuration{}
+	for _, d := range durs {
+		byFP[d.Fingerprint] = d
+	}
+	if byFP["long"].Days != 20 || byFP["long"].Connections != 2 {
+		t.Errorf("long: %+v", byFP["long"])
+	}
+	if byFP["short"].Days != 1 {
+		t.Errorf("short: %+v", byFP["short"])
+	}
+}
+
+func TestLogWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	rnd := rand.New(rand.NewSource(20))
+	var want []Record
+	for i := 0; i < 50; i++ {
+		r := sampleRecord()
+		r.Date = timeline.D(2014+rnd.Intn(4), time.Month(1+rnd.Intn(12)), 1+rnd.Intn(28))
+		r.Suite = []uint16{0xC02F, 0x0005, 0x002F}[rnd.Intn(3)]
+		want = append(want, *r)
+		if err := lw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lw.Count() != 50 {
+		t.Errorf("count = %d", lw.Count())
+	}
+	var got []Record
+	err := ReadLog(&buf, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("log round trip mismatch")
+	}
+}
+
+func TestReadLogBadLine(t *testing.T) {
+	in := bytes.NewBufferString(Header() + "garbage line\n")
+	err := ReadLog(in, func(Record) error { return nil })
+	if err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestClientOffers(t *testing.T) {
+	r := sampleRecord()
+	if !r.ClientOffers(registry.Suite.IsRC4) {
+		t.Error("sample offers RC4")
+	}
+	if r.ClientOffers(registry.Suite.IsExport) {
+		t.Error("sample offers no export")
+	}
+}
+
+func TestAggregateByExtension(t *testing.T) {
+	agg := NewAggregate()
+	r := sampleRecord()
+	agg.Add(r)
+	ms := agg.Stats(timeline.M(2015, time.June))
+	if ms.ByExtension[registry.ExtServerName] != 1 || ms.ByExtension[registry.ExtSupportedGroups] != 1 {
+		t.Errorf("extension counters: %v", ms.ByExtension)
+	}
+	// GREASE extensions are stripped.
+	r2 := sampleRecord()
+	r2.ClientExtensions = []registry.ExtensionID{registry.ExtensionID(0x0a0a), registry.ExtALPN}
+	agg.Add(r2)
+	if ms.ByExtension[registry.ExtensionID(0x0a0a)] != 0 {
+		t.Error("GREASE extension counted")
+	}
+	if ms.ByExtension[registry.ExtALPN] != 1 {
+		t.Error("ALPN not counted")
+	}
+}

@@ -1,0 +1,358 @@
+// Package notary implements the passive TLS monitor of the study: the
+// equivalent of the ICSI SSL Notary's Bro-based collection pipeline. It
+// turns observed hello exchanges into connection records, persists them as
+// Bro-style tab-separated logs, and aggregates them into the monthly
+// statistics behind every figure of the paper.
+package notary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+	"tlsage/internal/wire"
+)
+
+// Record is the metadata the Notary retains about one observed connection.
+// Like the real Notary it keeps no client identity — only the hello
+// parameters and the negotiation outcome. TruthClient (the generating
+// profile) is recorded by the simulator for evaluation only and is never
+// consulted by the analysis pipeline.
+type Record struct {
+	Date timeline.Date
+
+	// Client Hello side.
+	ClientVersion     registry.Version
+	ClientSuites      []uint16
+	ClientExtensions  []registry.ExtensionID
+	ClientCurves      []registry.CurveID
+	ClientPointFmts   []registry.ECPointFormat
+	ClientSupportedVs []registry.Version
+	OffersHeartbeat   bool
+
+	// Negotiation outcome.
+	Established  bool
+	Version      registry.Version // canonical negotiated version when established
+	Suite        uint16
+	Curve        registry.CurveID
+	HeartbeatAck bool
+	SuiteUnoffer bool // server chose a suite the client did not offer
+	AlertDesc    uint8
+	UsedFallback bool
+	SSLv2Hello   bool
+
+	// Fingerprint is the §4 client fingerprint string (GREASE-stripped),
+	// filled by the observation pipeline.
+	Fingerprint string
+
+	// TruthClient is ground truth for evaluation (profile name); empty in
+	// purely passive deployments.
+	TruthClient string
+	// ServerCohort labels the responding server's cohort for evaluation.
+	ServerCohort string
+}
+
+// ObserveWire reconstructs the client-side fields of a Record from raw
+// ClientHello record bytes, exactly as a passive monitor on the wire would.
+// It returns an error for bytes the Bro analyzer would reject.
+func (r *Record) ObserveWire(clientHelloRecord []byte) error {
+	if wire.IsSSLv2Hello(clientHelloRecord) {
+		var v2 wire.SSLv2ClientHello
+		if err := v2.DecodeFromBytes(clientHelloRecord); err != nil {
+			return err
+		}
+		r.SSLv2Hello = true
+		r.ClientVersion = v2.Version
+		r.ClientSuites = wire.TLSSuitesFromSSLv2(v2.CipherSpecs)
+		return nil
+	}
+	rec, _, err := wire.DecodeRecord(clientHelloRecord)
+	if err != nil {
+		return err
+	}
+	if rec.Type != wire.ContentHandshake {
+		return fmt.Errorf("notary: unexpected record type %v", rec.Type)
+	}
+	typ, body, _, err := wire.DecodeHandshake(rec.Payload)
+	if err != nil {
+		return err
+	}
+	if typ != wire.TypeClientHello {
+		return fmt.Errorf("notary: unexpected handshake type %d", typ)
+	}
+	var ch wire.ClientHello
+	if err := ch.DecodeFromBytes(body); err != nil {
+		return err
+	}
+	r.FromClientHello(&ch)
+	return nil
+}
+
+// FromClientHello fills the client-side fields from a parsed hello.
+func (r *Record) FromClientHello(ch *wire.ClientHello) {
+	r.ClientVersion = ch.Version
+	r.ClientSuites = append([]uint16(nil), ch.CipherSuites...)
+	r.ClientExtensions = ch.ExtensionIDs()
+	r.ClientCurves = ch.SupportedGroups()
+	r.ClientPointFmts = ch.ECPointFormats()
+	r.ClientSupportedVs = ch.SupportedVersions()
+	r.OffersHeartbeat = ch.OffersHeartbeat()
+}
+
+// ClientOffers reports whether the hello offered a suite matching pred
+// (GREASE and unknown code points never match).
+func (r *Record) ClientOffers(pred func(registry.Suite) bool) bool {
+	return registry.ListHas(r.ClientSuites, pred)
+}
+
+// SupportsTLS13 reports whether the client advertised any TLS 1.3 variant in
+// supported_versions (§6.4's "client indicates support" metric).
+func (r *Record) SupportsTLS13() bool {
+	for _, v := range r.ClientSupportedVs {
+		if registry.IsGREASE(uint16(v)) {
+			continue
+		}
+		if v.IsTLS13Variant() {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvertisedTLS13Variant returns the first (highest-preference) TLS 1.3
+// variant offered, or 0 — the per-draft deployment view of §6.4.
+func (r *Record) AdvertisedTLS13Variant() registry.Version {
+	for _, v := range r.ClientSupportedVs {
+		if registry.IsGREASE(uint16(v)) {
+			continue
+		}
+		if v.IsTLS13Variant() {
+			return v
+		}
+	}
+	return 0
+}
+
+// --- TSV serialization (Bro-style log line) ---
+
+// tsvVersion tags the log schema.
+const tsvVersion = "tlsage-conn-1"
+
+// Header returns the log header lines.
+func Header() string {
+	return "#separator \\t\n#format " + tsvVersion + "\n#fields\tdate\testablished\tversion\tsuite\tcurve\thb_ack\tsuite_unoffered\talert\tfallback\tsslv2\tclient_version\tclient_suites\tclient_exts\tclient_curves\tclient_pfs\tclient_svs\toffers_hb\tfp\ttruth\tcohort\n"
+}
+
+// AppendTSV serializes the record as one log line appended to dst.
+func (r *Record) AppendTSV(dst []byte) []byte {
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString(r.Date.String())
+	writeBool := func(v bool) {
+		if v {
+			b.WriteString("\tT")
+		} else {
+			b.WriteString("\tF")
+		}
+	}
+	writeBool(r.Established)
+	fmt.Fprintf(&b, "\t%04x\t%04x\t%04x", uint16(r.Version), r.Suite, uint16(r.Curve))
+	writeBool(r.HeartbeatAck)
+	writeBool(r.SuiteUnoffer)
+	fmt.Fprintf(&b, "\t%d", r.AlertDesc)
+	writeBool(r.UsedFallback)
+	writeBool(r.SSLv2Hello)
+	fmt.Fprintf(&b, "\t%04x", uint16(r.ClientVersion))
+	b.WriteByte('\t')
+	writeHexList16(&b, r.ClientSuites)
+	b.WriteByte('\t')
+	writeHexListExt(&b, r.ClientExtensions)
+	b.WriteByte('\t')
+	writeHexListCurve(&b, r.ClientCurves)
+	b.WriteByte('\t')
+	writeHexListPF(&b, r.ClientPointFmts)
+	b.WriteByte('\t')
+	writeHexListVer(&b, r.ClientSupportedVs)
+	writeBool(r.OffersHeartbeat)
+	b.WriteByte('\t')
+	b.WriteString(emptyDash(r.Fingerprint))
+	b.WriteByte('\t')
+	b.WriteString(emptyDash(r.TruthClient))
+	b.WriteByte('\t')
+	b.WriteString(emptyDash(r.ServerCohort))
+	b.WriteByte('\n')
+	return append(dst, b.String()...)
+}
+
+func emptyDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func writeHexList16(b *strings.Builder, vals []uint16) {
+	if len(vals) == 0 {
+		b.WriteByte('-')
+		return
+	}
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%04x", v)
+	}
+}
+
+func writeHexListExt(b *strings.Builder, vals []registry.ExtensionID) {
+	u := make([]uint16, len(vals))
+	for i, v := range vals {
+		u[i] = uint16(v)
+	}
+	writeHexList16(b, u)
+}
+
+func writeHexListCurve(b *strings.Builder, vals []registry.CurveID) {
+	u := make([]uint16, len(vals))
+	for i, v := range vals {
+		u[i] = uint16(v)
+	}
+	writeHexList16(b, u)
+}
+
+func writeHexListPF(b *strings.Builder, vals []registry.ECPointFormat) {
+	u := make([]uint16, len(vals))
+	for i, v := range vals {
+		u[i] = uint16(v)
+	}
+	writeHexList16(b, u)
+}
+
+func writeHexListVer(b *strings.Builder, vals []registry.Version) {
+	u := make([]uint16, len(vals))
+	for i, v := range vals {
+		u[i] = uint16(v)
+	}
+	writeHexList16(b, u)
+}
+
+// ParseTSV parses one log line produced by AppendTSV.
+func ParseTSV(line string) (Record, error) {
+	line = strings.TrimSuffix(line, "\n")
+	fields := strings.Split(line, "\t")
+	if len(fields) != 20 {
+		return Record{}, fmt.Errorf("notary: %d fields, want 20", len(fields))
+	}
+	var r Record
+	var err error
+	if r.Date, err = parseDate(fields[0]); err != nil {
+		return Record{}, err
+	}
+	r.Established = fields[1] == "T"
+	if v, err := strconv.ParseUint(fields[2], 16, 16); err == nil {
+		r.Version = registry.Version(v)
+	} else {
+		return Record{}, err
+	}
+	if v, err := strconv.ParseUint(fields[3], 16, 16); err == nil {
+		r.Suite = uint16(v)
+	} else {
+		return Record{}, err
+	}
+	if v, err := strconv.ParseUint(fields[4], 16, 16); err == nil {
+		r.Curve = registry.CurveID(v)
+	} else {
+		return Record{}, err
+	}
+	r.HeartbeatAck = fields[5] == "T"
+	r.SuiteUnoffer = fields[6] == "T"
+	if v, err := strconv.ParseUint(fields[7], 10, 8); err == nil {
+		r.AlertDesc = uint8(v)
+	} else {
+		return Record{}, err
+	}
+	r.UsedFallback = fields[8] == "T"
+	r.SSLv2Hello = fields[9] == "T"
+	if v, err := strconv.ParseUint(fields[10], 16, 16); err == nil {
+		r.ClientVersion = registry.Version(v)
+	} else {
+		return Record{}, err
+	}
+	suites, err := parseHexList(fields[11])
+	if err != nil {
+		return Record{}, err
+	}
+	r.ClientSuites = suites
+	exts, err := parseHexList(fields[12])
+	if err != nil {
+		return Record{}, err
+	}
+	for _, v := range exts {
+		r.ClientExtensions = append(r.ClientExtensions, registry.ExtensionID(v))
+	}
+	curves, err := parseHexList(fields[13])
+	if err != nil {
+		return Record{}, err
+	}
+	for _, v := range curves {
+		r.ClientCurves = append(r.ClientCurves, registry.CurveID(v))
+	}
+	pfs, err := parseHexList(fields[14])
+	if err != nil {
+		return Record{}, err
+	}
+	for _, v := range pfs {
+		r.ClientPointFmts = append(r.ClientPointFmts, registry.ECPointFormat(v))
+	}
+	svs, err := parseHexList(fields[15])
+	if err != nil {
+		return Record{}, err
+	}
+	for _, v := range svs {
+		r.ClientSupportedVs = append(r.ClientSupportedVs, registry.Version(v))
+	}
+	r.OffersHeartbeat = fields[16] == "T"
+	r.Fingerprint = dashEmpty(fields[17])
+	r.TruthClient = dashEmpty(fields[18])
+	r.ServerCohort = dashEmpty(fields[19])
+	return r, nil
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+func parseDate(s string) (timeline.Date, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return timeline.Date{}, fmt.Errorf("notary: bad date %q", s)
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	d, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 {
+		return timeline.Date{}, fmt.Errorf("notary: bad date %q", s)
+	}
+	return timeline.Date{Year: y, Month: timeMonth(m), Day: d}, nil
+}
+
+func parseHexList(s string) ([]uint16, error) {
+	if s == "-" || s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint16, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("notary: bad hex list element %q", p)
+		}
+		out[i] = uint16(v)
+	}
+	return out, nil
+}

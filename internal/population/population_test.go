@@ -1,0 +1,263 @@
+package population
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tlsage/internal/clientdb"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+func TestDefaultClientsCoversAllProfiles(t *testing.T) {
+	cp := DefaultClients()
+	if len(cp.Profiles()) != len(clientdb.AllProfiles()) {
+		t.Fatalf("population covers %d profiles, clientdb has %d",
+			len(cp.Profiles()), len(clientdb.AllProfiles()))
+	}
+}
+
+func TestClientWeightsNormalized(t *testing.T) {
+	cp := DefaultClients()
+	for _, d := range []timeline.Date{
+		timeline.D(2012, time.March, 15), timeline.D(2015, time.July, 15),
+		timeline.D(2018, time.April, 15),
+	} {
+		w := cp.Weights(d)
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				t.Fatalf("negative weight at %v", d)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights at %v sum to %v", d, sum)
+		}
+	}
+}
+
+func TestClassSharesMatchTable2Shape(t *testing.T) {
+	// Table 2's coverage ordering: Libraries ≫ Browsers ≫ everything else,
+	// with roughly 30% unlabeled.
+	cp := DefaultClients()
+	byClass, unlabeled := cp.ClassShare(timeline.D(2016, time.June, 15))
+	if byClass[clientdb.ClassLibrary] <= byClass[clientdb.ClassBrowser] {
+		t.Errorf("Libraries (%0.3f) should exceed Browsers (%0.3f)",
+			byClass[clientdb.ClassLibrary], byClass[clientdb.ClassBrowser])
+	}
+	if byClass[clientdb.ClassBrowser] <= byClass[clientdb.ClassOSTool] {
+		t.Errorf("Browsers (%0.3f) should exceed OS tools (%0.3f)",
+			byClass[clientdb.ClassBrowser], byClass[clientdb.ClassOSTool])
+	}
+	if unlabeled < 0.18 || unlabeled > 0.42 {
+		t.Errorf("unlabeled share = %0.3f, want ≈0.30", unlabeled)
+	}
+	labeled := 1 - unlabeled
+	if labeled < 0.55 || labeled > 0.85 {
+		t.Errorf("labeled share = %0.3f, want ≈0.69 (Table 2)", labeled)
+	}
+}
+
+func TestClientSampleDistribution(t *testing.T) {
+	cp := DefaultClients()
+	rnd := rand.New(rand.NewSource(5))
+	d := timeline.D(2016, time.June, 15)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p, idx := cp.Sample(d, rnd)
+		counts[p.Name]++
+		if idx < 0 || idx >= len(p.Releases) {
+			t.Fatal("release index out of range")
+		}
+	}
+	w := cp.Weights(d)
+	// Spot-check the two biggest profiles within 2 percentage points.
+	for _, name := range []string{"Android SDK", "OpenSSL"} {
+		got := float64(counts[name]) / n
+		if math.Abs(got-w[name]) > 0.02 {
+			t.Errorf("%s sampled share %0.3f vs weight %0.3f", name, got, w[name])
+		}
+	}
+}
+
+func TestServerPopulationValidates(t *testing.T) {
+	sp := DefaultServers()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Cohorts()) < 12 {
+		t.Errorf("expected ≥12 cohorts, got %d", len(sp.Cohorts()))
+	}
+}
+
+func TestServerWeightsNormalized(t *testing.T) {
+	sp := DefaultServers()
+	for _, u := range []Universe{ByTraffic, ByHosts} {
+		for _, d := range []timeline.Date{
+			timeline.D(2013, time.August, 15), timeline.D(2015, time.September, 15),
+			timeline.D(2018, time.April, 15),
+		} {
+			w := sp.Weights(d, u)
+			sum := 0.0
+			for _, v := range w {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("universe %d weights at %v sum to %v", u, d, sum)
+			}
+		}
+	}
+}
+
+func TestRC4CohortTrafficPeaksAugust2013(t *testing.T) {
+	// Fig 2: RC4 negotiation peaked around 60% in August 2013.
+	sp := DefaultServers()
+	w := sp.Weights(timeline.D(2013, time.August, 15), ByTraffic)
+	rc4 := w["rc4first-tls10"] + w["rc4first-tls12"]
+	if rc4 < 0.50 || rc4 > 0.70 {
+		t.Errorf("RC4-preferring traffic share Aug 2013 = %0.3f, want ≈0.60", rc4)
+	}
+	w2018 := sp.Weights(timeline.D(2018, time.March, 15), ByTraffic)
+	if tail := w2018["rc4first-tls10"] + w2018["rc4first-tls12"]; tail > 0.02 {
+		t.Errorf("RC4-preferring traffic share 2018 = %0.3f, want ≈0", tail)
+	}
+}
+
+func TestRC4HostSharesMatchCensysScalars(t *testing.T) {
+	// §5.3: 11.2% of hosts chose RC4 in Sep 2015, 3.4% in May 2018.
+	sp := DefaultServers()
+	rc4Choosers := func(d timeline.Date) float64 {
+		w := sp.Weights(d, ByHosts)
+		return w["rc4first-tls10"] + w["rc4first-tls12"] + w["rc4-pref-misconfig"]
+	}
+	if got := rc4Choosers(timeline.D(2015, time.September, 15)); math.Abs(got-0.112) > 0.02 {
+		t.Errorf("RC4-choosing hosts Sep 2015 = %0.3f, want ≈0.112", got)
+	}
+	if got := rc4Choosers(timeline.D(2018, time.May, 13)); math.Abs(got-0.034) > 0.01 {
+		t.Errorf("RC4-choosing hosts May 2018 = %0.3f, want ≈0.034", got)
+	}
+}
+
+func TestSSL3HostSupportMatchesCensys(t *testing.T) {
+	// §5.1: >45% of servers supported SSL3 in Sep 2015, <25% in May 2018.
+	sp := DefaultServers()
+	rnd := rand.New(rand.NewSource(9))
+	support := func(d timeline.Date) float64 {
+		n, hits := 60000, 0
+		for i := 0; i < n; i++ {
+			_, cfg := sp.Sample(d, ByHosts, rnd)
+			if cfg.MinVersion <= registry.VersionSSL3 {
+				hits++
+			}
+		}
+		return float64(hits) / float64(n)
+	}
+	sep15 := support(timeline.D(2015, time.September, 15))
+	may18 := support(timeline.D(2018, time.May, 13))
+	if sep15 < 0.40 || sep15 > 0.52 {
+		t.Errorf("SSL3 support Sep 2015 = %0.3f, want ≈0.45", sep15)
+	}
+	if may18 < 0.15 || may18 > 0.25 {
+		t.Errorf("SSL3 support May 2018 = %0.3f, want <0.25 (≈0.22)", may18)
+	}
+	if may18 >= sep15 {
+		t.Error("SSL3 support should decline")
+	}
+}
+
+func TestHeartbleedDynamics(t *testing.T) {
+	sp := DefaultServers()
+	rnd := rand.New(rand.NewSource(10))
+	measure := func(d timeline.Date) (hb, vuln float64) {
+		n := 60000
+		var nhb, nv int
+		for i := 0; i < n; i++ {
+			_, cfg := sp.Sample(d, ByHosts, rnd)
+			if cfg.HeartbeatEnabled {
+				nhb++
+			}
+			if cfg.HeartbleedVulnerable {
+				nv++
+			}
+		}
+		return float64(nhb) / float64(n), float64(nv) / float64(n)
+	}
+	// At disclosure: ≈24% vulnerable (paper: at least 23.7%).
+	_, vulnAtDisclosure := measure(timeline.D(2014, time.April, 8))
+	if vulnAtDisclosure < 0.17 || vulnAtDisclosure > 0.30 {
+		t.Errorf("vulnerable at disclosure = %0.3f, want ≈0.24", vulnAtDisclosure)
+	}
+	// A month later: below 3% (paper: <2% within a month, 5.9% first scan).
+	_, vulnMonthLater := measure(timeline.D(2014, time.May, 10))
+	if vulnMonthLater > 0.04 {
+		t.Errorf("vulnerable a month later = %0.3f, want <0.04", vulnMonthLater)
+	}
+	// May 2018: heartbeat ≈34%, vulnerable ≈0.32%.
+	hb2018, vuln2018 := measure(timeline.D(2018, time.May, 13))
+	if hb2018 < 0.25 || hb2018 > 0.42 {
+		t.Errorf("heartbeat support 2018 = %0.3f, want ≈0.34", hb2018)
+	}
+	if vuln2018 < 0.001 || vuln2018 > 0.007 {
+		t.Errorf("vulnerable 2018 = %0.4f, want ≈0.0032", vuln2018)
+	}
+}
+
+func TestAffinityRouting(t *testing.T) {
+	sp := DefaultServers()
+	rnd := rand.New(rand.NewSource(11))
+	d := timeline.D(2015, time.June, 15)
+	c, cfg := sp.SampleForClient("Nagios check_tcp", d, rnd)
+	if c.Name != "nagios" || !cfg.SupportsSSLv2 {
+		t.Errorf("nagios affinity broken: %s", c.Name)
+	}
+	c, _ = sp.SampleForClient("Globus GridFTP", d, rnd)
+	if c.Name != "gridftp" {
+		t.Errorf("gridftp affinity broken: %s", c.Name)
+	}
+	c, _ = sp.SampleForClient("Interwise client", d, rnd)
+	if c.Name != "interwise" {
+		t.Errorf("interwise affinity broken: %s", c.Name)
+	}
+	// Ordinary clients never land on special cohorts deterministically.
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		c, _ := sp.SampleForClient("Chrome", d, rnd)
+		seen[c.Name] = true
+	}
+	if len(seen) < 3 {
+		t.Error("Chrome should spread across cohorts")
+	}
+}
+
+func TestInstantiateDoesNotMutateBase(t *testing.T) {
+	sp := DefaultServers()
+	rnd := rand.New(rand.NewSource(12))
+	c, ok := sp.CohortByName("modern-ecdhe")
+	if !ok {
+		t.Fatal("cohort missing")
+	}
+	baseMin := c.Base.MinVersion
+	for i := 0; i < 200; i++ {
+		_, cfg := sp.Sample(timeline.D(2013, time.June, 15), ByTraffic, rnd)
+		_ = cfg
+	}
+	if c.Base.MinVersion != baseMin {
+		t.Error("Sample mutated cohort base config")
+	}
+}
+
+func TestTLS13CohortOnlyAfter2016(t *testing.T) {
+	sp := DefaultServers()
+	w := sp.Weights(timeline.D(2015, time.June, 15), ByTraffic)
+	if w["tls13"] > 0 {
+		t.Error("tls13 cohort present before 2016")
+	}
+	w = sp.Weights(timeline.D(2018, time.April, 15), ByTraffic)
+	if w["tls13"] < 0.03 || w["tls13"] > 0.10 {
+		t.Errorf("tls13 traffic share Apr 2018 = %0.3f, want ≈0.06", w["tls13"])
+	}
+}

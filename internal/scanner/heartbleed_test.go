@@ -1,0 +1,89 @@
+package scanner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tlsage/internal/handshake"
+	"tlsage/internal/registry"
+)
+
+func vulnerableCfg() *handshake.ServerConfig {
+	cfg := modernCfg()
+	cfg.Name = "vulnerable"
+	cfg.HeartbeatEnabled = true
+	cfg.HeartbleedVulnerable = true
+	return cfg
+}
+
+func TestHeartbleedCheckDistinguishesServers(t *testing.T) {
+	patched := heartbeatCfg() // heartbeat on, patched
+	vuln := vulnerableCfg()   // heartbeat on, unpatched
+	noHB := modernCfg()       // no heartbeat at all
+	farm := startFarm(t, patched, vuln, noHB)
+
+	sc := New(4)
+	sc.Timeout = 2 * time.Second
+	results, err := sc.ScanHeartbleed(context.Background(), farm.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byTarget := map[string]HeartbleedResult{}
+	for _, r := range results {
+		byTarget[r.Target] = r
+	}
+	p := byTarget[farm.Hosts[0].Addr()]
+	if !p.HeartbeatAck || p.Vulnerable {
+		t.Errorf("patched server: %+v", p)
+	}
+	v := byTarget[farm.Hosts[1].Addr()]
+	if !v.HeartbeatAck || !v.Vulnerable {
+		t.Errorf("vulnerable server not detected: %+v", v)
+	}
+	if v.LeakedBytes != hbClaim-hbSent {
+		t.Errorf("leaked %d bytes, want %d", v.LeakedBytes, hbClaim-hbSent)
+	}
+	n := byTarget[farm.Hosts[2].Addr()]
+	if n.HeartbeatAck || n.Vulnerable {
+		t.Errorf("heartbeat-less server: %+v", n)
+	}
+}
+
+func TestHeartbleedCheckUnreachable(t *testing.T) {
+	sc := New(1)
+	sc.Timeout = 300 * time.Millisecond
+	results, err := sc.ScanHeartbleed(context.Background(), []string{"127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == nil || results[0].Vulnerable {
+		t.Errorf("unexpected: %+v", results)
+	}
+}
+
+func TestRC4OnlyProbe(t *testing.T) {
+	rc4Server := legacyRC4Cfg()
+	modernNoRC4 := &handshake.ServerConfig{
+		Name: "norc4", MinVersion: registry.VersionTLS10, MaxVersion: registry.VersionTLS12,
+		Suites: []uint16{0xC02F, 0x002F, 0x0035},
+		Curves: []registry.CurveID{registry.CurveSecp256r1},
+	}
+	farm := startFarm(t, rc4Server, modernNoRC4)
+	sc := New(2)
+	hello := RC4Only().Build(nil)
+	results, err := sc.Scan(context.Background(), farm.Addrs(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if sum.Answered != 1 || sum.ChoseRC4 != 1 {
+		t.Errorf("RC4-only probe: %+v", sum)
+	}
+	if sum.Alerted != 1 {
+		t.Errorf("RC4-less server should alert: %+v", sum)
+	}
+}

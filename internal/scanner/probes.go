@@ -1,0 +1,134 @@
+package scanner
+
+import (
+	"math/rand"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/wire"
+)
+
+// Probe is a named scan configuration: a generator for the ClientHello a
+// campaign sends to every target.
+type Probe struct {
+	Name  string
+	Build func(rnd *rand.Rand) *wire.ClientHello
+}
+
+// chrome2015Suites is the cipher list of the Censys default scan: "the same
+// set of cipher suites as a 2015 version of Chrome including a number of
+// strong ciphers such as AES-GCM cipher suites with forward secrecy, as well
+// as weaker CBC, RC4, and 3DES cipher suites" (§3.2). 3DES sits at the
+// bottom, which is why the §5.6 "servers choosing 3DES" number is meaningful.
+var chrome2015Suites = []uint16{
+	0xC02B, 0xC02F, 0xC02C, 0xC030, // ECDHE AES-GCM
+	0xCC14, 0xCC13, // draft ChaCha20
+	0x009E, 0x009F, // DHE AES-GCM
+	0xC023, 0xC027, 0xC009, 0xC013, 0xC024, 0xC028, 0xC00A, 0xC014, // ECDHE CBC
+	0x0067, 0x0033, 0x006B, 0x0039, // DHE CBC
+	0x009C, 0x009D, // RSA GCM
+	0x003C, 0x002F, 0x003D, 0x0035, // RSA CBC
+	0xC011, 0xC007, 0x0005, 0x0004, // RC4
+	0x000A, 0xC012, 0x0016, // 3DES at the bottom
+}
+
+func chromeExtensions(hb bool) []wire.Extension {
+	exts := []wire.Extension{
+		wire.NewSupportedGroupsExtension([]registry.CurveID{
+			registry.CurveSecp256r1, registry.CurveSecp384r1, registry.CurveSecp521r1,
+		}),
+		wire.NewECPointFormatsExtension([]registry.ECPointFormat{registry.PointFormatUncompressed}),
+	}
+	if hb {
+		exts = append(exts, wire.NewHeartbeatExtension(1))
+	}
+	return exts
+}
+
+func randomized(rnd *rand.Rand, ch *wire.ClientHello) *wire.ClientHello {
+	if rnd != nil {
+		rnd.Read(ch.Random[:])
+	}
+	return ch
+}
+
+// Chrome2015 is the Censys default probe. It also offers the heartbeat
+// extension so heartbeat support (§5.4) is measured in the same sweep.
+func Chrome2015() Probe {
+	return Probe{
+		Name: "chrome2015",
+		Build: func(rnd *rand.Rand) *wire.ClientHello {
+			return randomized(rnd, &wire.ClientHello{
+				Version:      registry.VersionTLS12,
+				CipherSuites: append([]uint16(nil), chrome2015Suites...),
+				Extensions:   chromeExtensions(true),
+			})
+		},
+	}
+}
+
+// SSL3Only reproduces the weekly Censys scan that offers SSL 3 as the sole
+// protocol version (§3.2): a server answering it still supports SSL 3.
+func SSL3Only() Probe {
+	return Probe{
+		Name: "ssl3only",
+		Build: func(rnd *rand.Rand) *wire.ClientHello {
+			return randomized(rnd, &wire.ClientHello{
+				Version: registry.VersionSSL3,
+				CipherSuites: []uint16{
+					0x0005, 0x0004, 0x000A, 0x002F, 0x0035, 0x0009,
+				},
+			})
+		},
+	}
+}
+
+// ExportOnly reproduces the export-grade support scan (§3.2, FREAK/Logjam):
+// only export suites are offered.
+func ExportOnly() Probe {
+	return Probe{
+		Name: "exportonly",
+		Build: func(rnd *rand.Rand) *wire.ClientHello {
+			return randomized(rnd, &wire.ClientHello{
+				Version: registry.VersionTLS10,
+				CipherSuites: []uint16{
+					0x0003, 0x0006, 0x0008, 0x0014, 0x0011, 0x0060, 0x0062,
+				},
+			})
+		},
+	}
+}
+
+// DHEOnly probes for DHE_EXPORT-style downgrades by offering only DHE
+// suites (the Logjam precondition measurement).
+func DHEOnly() Probe {
+	return Probe{
+		Name: "dheonly",
+		Build: func(rnd *rand.Rand) *wire.ClientHello {
+			return randomized(rnd, &wire.ClientHello{
+				Version:      registry.VersionTLS12,
+				CipherSuites: []uint16{0x009E, 0x009F, 0x0033, 0x0039, 0x0067, 0x006B},
+			})
+		},
+	}
+}
+
+// RC4Only probes for RC4 *support* the way SSL Pulse measured it for the
+// Alexa top sites (§5.3: 92.8% in Oct 2013 → 19.1%): only RC4 suites are
+// offered, so any ServerHello proves support.
+func RC4Only() Probe {
+	return Probe{
+		Name: "rc4only",
+		Build: func(rnd *rand.Rand) *wire.ClientHello {
+			return randomized(rnd, &wire.ClientHello{
+				Version:      registry.VersionTLS12,
+				CipherSuites: []uint16{0x0005, 0x0004, 0xC011, 0xC007},
+				Extensions:   chromeExtensions(false),
+			})
+		},
+	}
+}
+
+// AllProbes returns the campaign's probe set.
+func AllProbes() []Probe {
+	return []Probe{Chrome2015(), SSL3Only(), ExportOnly(), DHEOnly(), RC4Only()}
+}

@@ -1,0 +1,181 @@
+// Package scanner implements the active-measurement side of the study: a
+// ZGrab-style concurrent TLS banner grabber plus the special-purpose probe
+// configurations Censys ran (the 2015-Chrome cipher list, SSL3-only scans,
+// export-only scans; §3.2). Scans run over real TCP against the serverfarm
+// or any other endpoint speaking the hello exchange.
+package scanner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/wire"
+)
+
+// Result is the outcome of probing one target.
+type Result struct {
+	Target string
+	// OK is true when the server answered with a ServerHello.
+	OK bool
+	// Err is the network- or protocol-level failure, nil when the server
+	// answered (even with an alert).
+	Err error
+	// Alerted is true when the server answered with a TLS alert.
+	Alerted bool
+	Alert   wire.Alert
+	// Negotiated parameters when OK.
+	Version      registry.Version
+	Suite        uint16
+	HeartbeatAck bool
+	// RTT is the time from dial start to response parse.
+	RTT time.Duration
+}
+
+// Scanner is a concurrent hello prober.
+type Scanner struct {
+	// Timeout bounds each connection (dial + exchange).
+	Timeout time.Duration
+	// Workers is the pool width; defaults to 32.
+	Workers int
+	// Dialer may be customized (e.g. for source-address binding).
+	Dialer net.Dialer
+}
+
+// New returns a scanner with the given pool width.
+func New(workers int) *Scanner {
+	if workers <= 0 {
+		workers = 32
+	}
+	return &Scanner{Timeout: 5 * time.Second, Workers: workers}
+}
+
+// Scan probes every target with the given hello, streaming results in
+// completion order until targets are exhausted or ctx is cancelled. The
+// returned slice has one entry per target (order not guaranteed).
+func (s *Scanner) Scan(ctx context.Context, targets []string, hello *wire.ClientHello) ([]Result, error) {
+	raw, err := hello.AppendRecord(nil)
+	if err != nil {
+		return nil, fmt.Errorf("scanner: encoding probe hello: %w", err)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 32
+	}
+	if workers > len(targets) && len(targets) > 0 {
+		workers = len(targets)
+	}
+
+	jobs := make(chan string)
+	results := make(chan Result)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for target := range jobs {
+				res := s.probe(ctx, target, raw)
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, t := range targets {
+			select {
+			case jobs <- t:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make([]Result, 0, len(targets))
+	for res := range results {
+		out = append(out, res)
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// probe performs one dial + hello exchange.
+func (s *Scanner) probe(ctx context.Context, target string, helloBytes []byte) Result {
+	start := time.Now()
+	res := Result{Target: target}
+
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dialCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	conn, err := s.Dialer.DialContext(dialCtx, "tcp", target)
+	if err != nil {
+		res.Err = fmt.Errorf("dial: %w", err)
+		return res
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	if _, err := conn.Write(helloBytes); err != nil {
+		res.Err = fmt.Errorf("write: %w", err)
+		return res
+	}
+	rec, err := wire.ReadRecord(conn)
+	if err != nil {
+		res.Err = fmt.Errorf("read: %w", err)
+		return res
+	}
+	res.RTT = time.Since(start)
+
+	switch rec.Type {
+	case wire.ContentAlert:
+		var alert wire.Alert
+		if err := alert.DecodeFromBytes(rec.Payload); err != nil {
+			res.Err = err
+			return res
+		}
+		res.Alerted = true
+		res.Alert = alert
+		return res
+	case wire.ContentHandshake:
+		typ, body, _, err := wire.DecodeHandshake(rec.Payload)
+		if err != nil || typ != wire.TypeServerHello {
+			res.Err = errors.New("scanner: unexpected handshake message")
+			return res
+		}
+		var sh wire.ServerHello
+		if err := sh.DecodeFromBytes(body); err != nil {
+			res.Err = err
+			return res
+		}
+		res.OK = true
+		res.Version = sh.SelectedVersion().Canonical()
+		res.Suite = sh.CipherSuite
+		res.HeartbeatAck = sh.AcksHeartbeat()
+		return res
+	default:
+		res.Err = fmt.Errorf("scanner: unexpected record type %v", rec.Type)
+		return res
+	}
+}
+
+// drainTo reads the rest of a response; unused but kept for interface parity
+// with banner grabbers that slurp full handshakes.
+var _ = io.Discard

@@ -1,0 +1,288 @@
+package scanner
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"tlsage/internal/handshake"
+	"tlsage/internal/registry"
+	"tlsage/internal/serverfarm"
+	"tlsage/internal/wire"
+)
+
+func modernCfg() *handshake.ServerConfig {
+	return &handshake.ServerConfig{
+		Name: "modern", MinVersion: registry.VersionTLS10, MaxVersion: registry.VersionTLS12,
+		Suites:            []uint16{0xC02F, 0xC030, 0xC013, 0xC014, 0x009C, 0x002F, 0x0035, 0x000A},
+		PreferServerOrder: true,
+		Curves:            []registry.CurveID{registry.CurveSecp256r1},
+	}
+}
+
+func legacyRC4Cfg() *handshake.ServerConfig {
+	return &handshake.ServerConfig{
+		Name: "rc4", MinVersion: registry.VersionSSL3, MaxVersion: registry.VersionTLS10,
+		Suites:            []uint16{0x0005, 0x0004, 0x002F, 0x0035, 0x000A},
+		PreferServerOrder: true,
+	}
+}
+
+func heartbeatCfg() *handshake.ServerConfig {
+	cfg := modernCfg()
+	cfg.Name = "hb"
+	cfg.HeartbeatEnabled = true
+	return cfg
+}
+
+func startFarm(t *testing.T, cfgs ...*handshake.ServerConfig) *serverfarm.Farm {
+	t.Helper()
+	cohorts := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cohorts[i] = c.Name
+	}
+	farm, err := serverfarm.StartFarm(cfgs, cohorts, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	return farm
+}
+
+func TestScanChrome2015AgainstFarm(t *testing.T) {
+	farm := startFarm(t, modernCfg(), legacyRC4Cfg(), heartbeatCfg())
+	sc := New(4)
+	sc.Timeout = 2 * time.Second
+	hello := Chrome2015().Build(rand.New(rand.NewSource(1)))
+	results, err := sc.Scan(context.Background(), farm.Addrs(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	byTarget := map[string]Result{}
+	for _, r := range results {
+		byTarget[r.Target] = r
+	}
+	modern := byTarget[farm.Hosts[0].Addr()]
+	if !modern.OK || modern.Suite != 0xC02F || modern.Version != registry.VersionTLS12 {
+		t.Errorf("modern host: %+v", modern)
+	}
+	rc4 := byTarget[farm.Hosts[1].Addr()]
+	if !rc4.OK || rc4.Suite != 0x0005 || rc4.Version != registry.VersionTLS10 {
+		t.Errorf("rc4 host: %+v", rc4)
+	}
+	hb := byTarget[farm.Hosts[2].Addr()]
+	if !hb.OK || !hb.HeartbeatAck {
+		t.Errorf("heartbeat host: %+v", hb)
+	}
+	if modern.HeartbeatAck {
+		t.Error("modern host should not ack heartbeat")
+	}
+	if modern.RTT <= 0 {
+		t.Error("missing RTT")
+	}
+
+	sum := Summarize(results)
+	if sum.Answered != 3 || sum.ChoseRC4 != 1 || sum.ChoseAEAD != 2 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if sum.HeartbeatAck != 1 {
+		t.Errorf("heartbeat count: %+v", sum)
+	}
+	if sum.Frac(sum.ChoseRC4) < 0.32 || sum.Frac(sum.ChoseRC4) > 0.35 {
+		t.Errorf("Frac broken: %v", sum.Frac(sum.ChoseRC4))
+	}
+}
+
+func TestSSL3OnlyProbe(t *testing.T) {
+	ssl3Server := &handshake.ServerConfig{
+		Name: "old", MinVersion: registry.VersionSSL3, MaxVersion: registry.VersionTLS12,
+		Suites: []uint16{0x002F, 0x0035, 0x0005, 0x000A},
+	}
+	modernOnly := modernCfg()
+	modernOnly.MinVersion = registry.VersionTLS10
+	farm := startFarm(t, ssl3Server, modernOnly)
+
+	sc := New(2)
+	hello := SSL3Only().Build(rand.New(rand.NewSource(2)))
+	results, err := sc.Scan(context.Background(), farm.Addrs(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTarget := map[string]Result{}
+	for _, r := range results {
+		byTarget[r.Target] = r
+	}
+	old := byTarget[farm.Hosts[0].Addr()]
+	if !old.OK || old.Version != registry.VersionSSL3 {
+		t.Errorf("SSL3-capable server should answer: %+v", old)
+	}
+	modern := byTarget[farm.Hosts[1].Addr()]
+	if modern.OK || !modern.Alerted {
+		t.Errorf("SSL3-intolerant server should alert: %+v", modern)
+	}
+	sum := Summarize(results)
+	if sum.Answered != 1 || sum.Alerted != 1 {
+		t.Errorf("summary: %+v", sum)
+	}
+}
+
+func TestExportOnlyProbe(t *testing.T) {
+	exportServer := &handshake.ServerConfig{
+		Name: "export", MinVersion: registry.VersionSSL3, MaxVersion: registry.VersionTLS10,
+		Suites: []uint16{0x002F, 0x0003, 0x0008},
+	}
+	farm := startFarm(t, exportServer, modernCfg())
+	sc := New(2)
+	hello := ExportOnly().Build(rand.New(rand.NewSource(3)))
+	results, err := sc.Scan(context.Background(), farm.Addrs(), hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results)
+	if sum.ChoseExport != 1 {
+		t.Errorf("export support miscounted: %+v", sum)
+	}
+}
+
+func TestScanUnreachableTarget(t *testing.T) {
+	sc := New(1)
+	sc.Timeout = 300 * time.Millisecond
+	results, err := sc.Scan(context.Background(), []string{"127.0.0.1:1"}, // closed port
+		Chrome2015().Build(rand.New(rand.NewSource(4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Errorf("expected dial error: %+v", results)
+	}
+	sum := Summarize(results)
+	if sum.Errors != 1 {
+		t.Errorf("summary: %+v", sum)
+	}
+}
+
+func TestScanContextCancellation(t *testing.T) {
+	// A listener that accepts but never responds.
+	cfg := modernCfg()
+	farm := startFarm(t, cfg)
+	targets := make([]string, 200)
+	for i := range targets {
+		targets[i] = farm.Hosts[0].Addr()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting
+	sc := New(8)
+	_, err := sc.Scan(ctx, targets, Chrome2015().Build(rand.New(rand.NewSource(5))))
+	if err == nil {
+		t.Error("cancelled scan should report context error")
+	}
+}
+
+func TestScanConcurrencyCompletes(t *testing.T) {
+	farm := startFarm(t, modernCfg(), legacyRC4Cfg())
+	var targets []string
+	for i := 0; i < 60; i++ {
+		targets = append(targets, farm.Hosts[i%2].Addr())
+	}
+	sc := New(16)
+	sc.Timeout = 2 * time.Second
+	results, err := sc.Scan(context.Background(), targets, Chrome2015().Build(rand.New(rand.NewSource(6))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 60 {
+		t.Fatalf("got %d/60 results", len(results))
+	}
+	sum := Summarize(results)
+	if sum.Answered != 60 {
+		t.Errorf("all probes should be answered: %+v", sum)
+	}
+	if farm.Hosts[0].Served()+farm.Hosts[1].Served() != 60 {
+		t.Errorf("farm served %d+%d", farm.Hosts[0].Served(), farm.Hosts[1].Served())
+	}
+}
+
+func TestFarmAnswersSSLv2(t *testing.T) {
+	cfg := &handshake.ServerConfig{
+		Name: "nagios", MinVersion: registry.VersionSSL2, MaxVersion: registry.VersionTLS10,
+		Suites: []uint16{0x001B, 0x0018}, SupportsSSLv2: true,
+	}
+	farm := startFarm(t, cfg)
+	// Hand-roll an SSLv2 exchange since the scanner speaks TLS framing.
+	v2 := &wire.SSLv2ClientHello{
+		Version:     registry.VersionSSL2,
+		CipherSpecs: []uint32{0x010080, 0x000005},
+		Challenge:   make([]byte, 16),
+	}
+	raw, _ := v2.MarshalBinary()
+	conn, err := netDial(farm.Hosts[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil || n < 5 {
+		t.Fatalf("sslv2 response: n=%d err=%v", n, err)
+	}
+	if buf[0]&0x80 == 0 || buf[2] != 4 {
+		t.Errorf("expected sslv2 server-hello, got % x", buf[:n])
+	}
+}
+
+func TestFarmDropsGarbage(t *testing.T) {
+	farm := startFarm(t, modernCfg())
+	conn, err := netDial(farm.Hosts[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0x16, 0x03, 0x01, 0x00, 0x03, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_ = conn.SetReadDeadline(timeNowPlus(500 * time.Millisecond))
+	if n, _ := conn.Read(buf); n != 0 {
+		t.Errorf("garbage got a %d-byte answer", n)
+	}
+	if farm.Hosts[0].Served() != 0 {
+		t.Error("garbage counted as served")
+	}
+}
+
+func TestProbeNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range AllProbes() {
+		if p.Name == "" || p.Build == nil {
+			t.Fatalf("malformed probe %+v", p)
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate probe name %s", p.Name)
+		}
+		names[p.Name] = true
+		hello := p.Build(rand.New(rand.NewSource(7)))
+		if len(hello.CipherSuites) == 0 {
+			t.Errorf("probe %s offers no suites", p.Name)
+		}
+		if _, err := hello.MarshalBinary(); err != nil {
+			t.Errorf("probe %s does not encode: %v", p.Name, err)
+		}
+	}
+	for _, want := range []string{"chrome2015", "ssl3only", "exportonly", "dheonly"} {
+		if !names[want] {
+			t.Errorf("missing probe %s", want)
+		}
+	}
+}
+
+// Small indirection helpers keep the tests free of direct net imports noise.
+func netDial(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, 2*time.Second) }
+func timeNowPlus(d time.Duration) time.Time { return time.Now().Add(d) }

@@ -1,0 +1,291 @@
+// Package serverfarm runs real TCP listeners that answer TLS ClientHellos
+// using the population's server configurations — the synthetic stand-in for
+// the IPv4 hosts Censys scanned. Each farm host accepts a connection, reads
+// one hello (TLS or SSLv2), runs the negotiation engine and answers with a
+// ServerHello or an alert, then closes.
+//
+// The farm exists so the scanner package exercises a genuine network path:
+// dial, deadline, banner read, parse. Handshakes do not proceed past the
+// hello exchange — exactly the depth the study's scans needed.
+package serverfarm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tlsage/internal/handshake"
+	"tlsage/internal/registry"
+	"tlsage/internal/wire"
+)
+
+// Host is one simulated server: a TCP listener bound to a configuration.
+type Host struct {
+	cfg     *handshake.ServerConfig
+	cohort  string
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	timeout time.Duration
+	served  int
+}
+
+// StartHost launches a listener on addr (use "127.0.0.1:0" for an ephemeral
+// port) answering with cfg.
+func StartHost(addr string, cohort string, cfg *handshake.ServerConfig, timeout time.Duration) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serverfarm: %w", err)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	h := &Host{cfg: cfg, cohort: cohort, ln: ln, timeout: timeout}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the host's listen address.
+func (h *Host) Addr() string { return h.ln.Addr().String() }
+
+// Cohort returns the cohort label the host was configured from.
+func (h *Host) Cohort() string { return h.cohort }
+
+// Config returns the host's configuration (read-only).
+func (h *Host) Config() *handshake.ServerConfig { return h.cfg }
+
+// Served reports how many connections the host has answered.
+func (h *Host) Served() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.served
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	err := h.ln.Close()
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.serve(conn)
+		}()
+	}
+}
+
+// serve answers one hello exchange, then — when heartbeat was negotiated —
+// at most one heartbeat request (the Heartbleed check path).
+func (h *Host) serve(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(h.timeout))
+
+	reply, err := h.answer(conn)
+	if err != nil {
+		return // malformed or timed-out client; drop silently like real boxes
+	}
+	if _, err := conn.Write(reply); err != nil {
+		return
+	}
+	h.mu.Lock()
+	h.served++
+	h.mu.Unlock()
+
+	if h.cfg.HeartbeatEnabled {
+		h.serveHeartbeat(conn)
+	}
+}
+
+// serveHeartbeat answers one heartbeat record. A patched implementation
+// follows RFC 6520 and silently discards requests whose payload_length
+// exceeds the message; the Heartbleed-vulnerable implementation trusts the
+// claimed length and echoes that many bytes — leaking "process memory"
+// (deterministic filler here).
+func (h *Host) serveHeartbeat(conn net.Conn) {
+	rec, err := wire.ReadRecord(conn)
+	if err != nil || rec.Type != wire.ContentHeartbeat {
+		return
+	}
+	var req wire.HeartbeatMessage
+	var payload []byte
+	if h.cfg.HeartbleedVulnerable {
+		if err := req.BuggyDecode(rec.Payload); err != nil || req.Type != wire.HeartbeatRequest {
+			return
+		}
+		// The bug: echo payload_length bytes regardless of what arrived.
+		n := int(req.PayloadLength)
+		if n > 1<<14-32 {
+			n = 1<<14 - 32
+		}
+		payload = make([]byte, n)
+		copy(payload, req.Payload)
+		for i := len(req.Payload); i < n; i++ {
+			payload[i] = byte(0x40 + i%23) // "leaked memory"
+		}
+	} else {
+		if err := req.DecodeFromBytes(rec.Payload); err != nil || req.Type != wire.HeartbeatRequest {
+			return // RFC 6520: discard silently
+		}
+		payload = req.Payload
+	}
+	resp := wire.HeartbeatMessage{
+		Type:          wire.HeartbeatResponse,
+		PayloadLength: uint16(len(payload)),
+		Payload:       payload,
+	}
+	raw, err := resp.MarshalBinary()
+	if err != nil {
+		return
+	}
+	out, err := wire.AppendRecord(nil, wire.ContentHeartbeat, registry.VersionTLS12, raw)
+	if err != nil {
+		return
+	}
+	_, _ = conn.Write(out)
+}
+
+// answer reads one hello from the connection and produces the response
+// bytes.
+func (h *Host) answer(conn net.Conn) ([]byte, error) {
+	// Peek the first byte to disambiguate SSLv2 from TLS record framing.
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return nil, err
+	}
+	if first[0]&0x80 != 0 {
+		return h.answerSSLv2(conn, first[0])
+	}
+	return h.answerTLS(conn, first[0])
+}
+
+func (h *Host) answerTLS(conn net.Conn, firstByte byte) ([]byte, error) {
+	var rest [4]byte
+	if _, err := io.ReadFull(conn, rest[:]); err != nil {
+		return nil, err
+	}
+	length := int(rest[2])<<8 | int(rest[3])
+	if length > 1<<14 {
+		return nil, errors.New("serverfarm: oversized record")
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	if wire.ContentType(firstByte) != wire.ContentHandshake {
+		return nil, errors.New("serverfarm: not a handshake record")
+	}
+	typ, body, _, err := wire.DecodeHandshake(payload)
+	if err != nil || typ != wire.TypeClientHello {
+		return nil, errors.New("serverfarm: not a client hello")
+	}
+	var ch wire.ClientHello
+	if err := ch.DecodeFromBytes(body); err != nil {
+		return nil, err
+	}
+
+	res := handshake.Negotiate(&ch, h.cfg)
+	if !res.OK {
+		alert, _ := res.Alert.MarshalBinary()
+		return wire.AppendRecord(nil, wire.ContentAlert, registry.VersionTLS10, alert)
+	}
+	return res.ServerHello.AppendRecord(nil)
+}
+
+// answerSSLv2 handles an SSLv2 2-byte-header CLIENT-HELLO.
+func (h *Host) answerSSLv2(conn net.Conn, firstByte byte) ([]byte, error) {
+	var second [1]byte
+	if _, err := io.ReadFull(conn, second[:]); err != nil {
+		return nil, err
+	}
+	length := int(firstByte&0x7f)<<8 | int(second[0])
+	if length > 1<<14 {
+		return nil, errors.New("serverfarm: oversized sslv2 record")
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	raw := append([]byte{firstByte, second[0]}, body...)
+	var v2 wire.SSLv2ClientHello
+	if err := v2.DecodeFromBytes(raw); err != nil {
+		return nil, err
+	}
+	res := handshake.NegotiateSSLv2(&v2, h.cfg)
+	if !res.OK {
+		// SSLv2-intolerant servers just drop; emulate with a TLS alert.
+		alert, _ := res.Alert.MarshalBinary()
+		return wire.AppendRecord(nil, wire.ContentAlert, registry.VersionSSL3, alert)
+	}
+	// Emulate a minimal SSLv2 SERVER-HELLO: 2-byte header, type 4, then the
+	// chosen cipher in the low bytes. The scanner only needs the cipher echo.
+	msg := []byte{4, 0, 0, byte(res.Suite >> 8), byte(res.Suite)}
+	out := []byte{0x80 | byte(len(msg)>>8), byte(len(msg))}
+	return append(out, msg...), nil
+}
+
+// Farm is a set of hosts sampled from a server population snapshot.
+type Farm struct {
+	Hosts []*Host
+}
+
+// Close shuts every host down.
+func (f *Farm) Close() error {
+	var firstErr error
+	for _, h := range f.Hosts {
+		if err := h.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Addrs returns the hosts' listen addresses.
+func (f *Farm) Addrs() []string {
+	out := make([]string, len(f.Hosts))
+	for i, h := range f.Hosts {
+		out[i] = h.Addr()
+	}
+	return out
+}
+
+// StartFarm launches n hosts on loopback with the provided configurations.
+// configs[i] pairs with cohorts[i].
+func StartFarm(configs []*handshake.ServerConfig, cohorts []string, timeout time.Duration) (*Farm, error) {
+	if len(configs) != len(cohorts) {
+		return nil, errors.New("serverfarm: configs and cohorts length mismatch")
+	}
+	farm := &Farm{}
+	for i, cfg := range configs {
+		h, err := StartHost("127.0.0.1:0", cohorts[i], cfg, timeout)
+		if err != nil {
+			farm.Close()
+			return nil, err
+		}
+		farm.Hosts = append(farm.Hosts, h)
+	}
+	return farm, nil
+}

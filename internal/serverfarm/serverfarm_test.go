@@ -1,0 +1,246 @@
+package serverfarm
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"tlsage/internal/handshake"
+	"tlsage/internal/registry"
+	"tlsage/internal/wire"
+)
+
+func testCfg() *handshake.ServerConfig {
+	return &handshake.ServerConfig{
+		Name: "t", MinVersion: registry.VersionTLS10, MaxVersion: registry.VersionTLS12,
+		Suites: []uint16{0xC02F, 0x002F, 0x0035},
+		Curves: []registry.CurveID{registry.CurveSecp256r1},
+	}
+}
+
+func dialHello(t *testing.T, addr string, ch *wire.ClientHello) wire.Record {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	raw, err := ch.AppendRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wire.ReadRecord(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestHostAnswersHello(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.Cohort() != "t" || h.Config() == nil {
+		t.Error("accessors broken")
+	}
+	ch := &wire.ClientHello{
+		Version:      registry.VersionTLS12,
+		CipherSuites: []uint16{0x002F},
+	}
+	rec := dialHello(t, h.Addr(), ch)
+	if rec.Type != wire.ContentHandshake {
+		t.Fatalf("got record type %v", rec.Type)
+	}
+	if h.Served() != 1 {
+		t.Errorf("served = %d", h.Served())
+	}
+}
+
+func TestHostAlertsOnNoCommonSuite(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ch := &wire.ClientHello{
+		Version:      registry.VersionTLS12,
+		CipherSuites: []uint16{0x1301}, // TLS 1.3 suite only
+	}
+	rec := dialHello(t, h.Addr(), ch)
+	if rec.Type != wire.ContentAlert {
+		t.Fatalf("expected alert, got %v", rec.Type)
+	}
+	var alert wire.Alert
+	if err := alert.DecodeFromBytes(rec.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if alert.Description != wire.AlertHandshakeFailure {
+		t.Errorf("alert = %v", alert)
+	}
+}
+
+func TestHostCloseIdempotent(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+	// Dial after close fails.
+	if _, err := net.DialTimeout("tcp", h.Addr(), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after close")
+	}
+}
+
+func TestStartHostRejectsInvalidConfig(t *testing.T) {
+	bad := &handshake.ServerConfig{Name: "bad", MinVersion: registry.VersionTLS12,
+		MaxVersion: registry.VersionTLS10, Suites: []uint16{0x002F}}
+	if _, err := StartHost("127.0.0.1:0", "bad", bad, time.Second); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestStartFarmMismatch(t *testing.T) {
+	if _, err := StartFarm([]*handshake.ServerConfig{testCfg()}, nil, time.Second); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestFarmAddrs(t *testing.T) {
+	farm, err := StartFarm(
+		[]*handshake.ServerConfig{testCfg(), testCfg()},
+		[]string{"a", "b"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close()
+	addrs := farm.Addrs()
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestHeartbeatExchangeCorrectServer(t *testing.T) {
+	cfg := testCfg()
+	cfg.HeartbeatEnabled = true
+	h, err := StartHost("127.0.0.1:0", "hb", cfg, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	conn, err := net.DialTimeout("tcp", h.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	ch := &wire.ClientHello{
+		Version:      registry.VersionTLS12,
+		CipherSuites: []uint16{0x002F},
+		Extensions:   []wire.Extension{wire.NewHeartbeatExtension(1)},
+	}
+	raw, _ := ch.AppendRecord(nil)
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadRecord(conn); err != nil {
+		t.Fatal(err)
+	}
+	// Well-formed heartbeat request: echoed payload, no over-read.
+	req := wire.HeartbeatMessage{Type: wire.HeartbeatRequest, PayloadLength: 4, Payload: []byte{1, 2, 3, 4}}
+	hb, _ := req.MarshalBinary()
+	out, _ := wire.AppendRecord(nil, wire.ContentHeartbeat, registry.VersionTLS12, hb)
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wire.ReadRecord(conn)
+	if err != nil || rec.Type != wire.ContentHeartbeat {
+		t.Fatalf("heartbeat response: %v %v", rec.Type, err)
+	}
+	var resp wire.HeartbeatMessage
+	if err := resp.DecodeFromBytes(rec.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.HeartbeatResponse || len(resp.Payload) != 4 {
+		t.Errorf("response: %+v", resp)
+	}
+}
+
+func writeRaw(t *testing.T, addr string, raw []byte) (int, []byte) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(700 * time.Millisecond))
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _ := conn.Read(buf)
+	return n, buf[:n]
+}
+
+func TestHostDropsOversizedRecord(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// Claimed record length 0xffff exceeds 2^14.
+	if n, _ := writeRaw(t, h.Addr(), []byte{22, 3, 1, 0xff, 0xff}); n != 0 {
+		t.Errorf("oversized record got %d-byte answer", n)
+	}
+}
+
+func TestHostDropsNonHandshakeRecord(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	raw, _ := wire.AppendRecord(nil, wire.ContentAlert, registry.VersionTLS10, []byte{1, 0})
+	if n, _ := writeRaw(t, h.Addr(), raw); n != 0 {
+		t.Errorf("alert record got %d-byte answer", n)
+	}
+}
+
+func TestHostDropsNonHelloHandshake(t *testing.T) {
+	h, err := StartHost("127.0.0.1:0", "t", testCfg(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	msg, _ := wire.AppendHandshake(nil, wire.TypeServerHello, []byte{1, 2, 3})
+	raw, _ := wire.AppendRecord(nil, wire.ContentHandshake, registry.VersionTLS10, msg)
+	if n, _ := writeRaw(t, h.Addr(), raw); n != 0 {
+		t.Errorf("server-hello-in got %d-byte answer", n)
+	}
+}
+
+func TestHostDropsMalformedSSLv2(t *testing.T) {
+	cfg := testCfg()
+	cfg.SupportsSSLv2 = true
+	cfg.MinVersion = registry.VersionSSL2
+	h, err := StartHost("127.0.0.1:0", "t", cfg, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// High-bit header but garbage body.
+	if n, _ := writeRaw(t, h.Addr(), []byte{0x80, 0x03, 0xFF, 0xFF, 0xFF}); n != 0 {
+		t.Errorf("garbage sslv2 got %d-byte answer", n)
+	}
+}

@@ -1,0 +1,291 @@
+// Package simulate synthesizes the study's passive dataset: month by month
+// it draws (client, server) pairs from the population models, runs their
+// handshakes through the real wire codec and negotiation engine, and emits
+// Notary records. Every figure of the paper is then a query over the
+// resulting aggregate.
+//
+// The simulator is fully deterministic for a given seed and performs the
+// version-fallback dance real clients performed (the POODLE precondition):
+// on a failed handshake a fallback-capable client retries with progressively
+// lower versions, marking retries with TLS_FALLBACK_SCSV when it supports
+// RFC 7507.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tlsage/internal/clientdb"
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/handshake"
+	"tlsage/internal/notary"
+	"tlsage/internal/population"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+	"tlsage/internal/wire"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical datasets.
+	Seed int64
+	// ConnectionsPerMonth is the sample size per calendar month.
+	ConnectionsPerMonth int
+	// Start and End bound the simulated window (inclusive). Zero values
+	// default to the study window (Feb 2012 – Apr 2018).
+	Start, End timeline.Month
+	// WireLevel round-trips every hello through the binary codec, exactly as
+	// the Notary would observe it. Disabling it is the struct-only ablation.
+	WireLevel bool
+	// FingerprintFrom is the month fingerprinting fields become available
+	// (the Notary gained them in February 2014, §4.0.1). Records before it
+	// carry no fingerprint.
+	FingerprintFrom timeline.Month
+}
+
+// DefaultOptions returns the study configuration at the given sampling rate.
+func DefaultOptions(connsPerMonth int) Options {
+	return Options{
+		Seed:                1,
+		ConnectionsPerMonth: connsPerMonth,
+		Start:               timeline.StudyStart,
+		End:                 timeline.StudyEnd,
+		WireLevel:           true,
+		FingerprintFrom:     timeline.M(2014, time.February),
+	}
+}
+
+// Simulator generates the passive dataset.
+type Simulator struct {
+	Clients *population.ClientPopulation
+	Servers *population.ServerPopulation
+	opts    Options
+}
+
+// New builds a simulator over the default populations.
+func New(opts Options) *Simulator {
+	if opts.Start == (timeline.Month{}) {
+		opts.Start = timeline.StudyStart
+	}
+	if opts.End == (timeline.Month{}) {
+		opts.End = timeline.StudyEnd
+	}
+	if opts.FingerprintFrom == (timeline.Month{}) {
+		opts.FingerprintFrom = timeline.M(2014, time.February)
+	}
+	if opts.ConnectionsPerMonth <= 0 {
+		opts.ConnectionsPerMonth = 1000
+	}
+	return &Simulator{
+		Clients: population.DefaultClients(),
+		Servers: population.DefaultServers(),
+		opts:    opts,
+	}
+}
+
+// Options returns the effective options.
+func (s *Simulator) Options() Options { return s.opts }
+
+// Run generates the dataset, invoking sink for every record in
+// chronological-month order.
+func (s *Simulator) Run(sink func(*notary.Record)) error {
+	rnd := rand.New(rand.NewSource(s.opts.Seed))
+	for _, m := range timeline.MonthsBetween(s.opts.Start, s.opts.End) {
+		for i := 0; i < s.opts.ConnectionsPerMonth; i++ {
+			rec, err := s.connection(m, rnd)
+			if err != nil {
+				return err
+			}
+			sink(rec)
+		}
+	}
+	return nil
+}
+
+// RunAggregate runs the simulation into a fresh aggregator.
+func (s *Simulator) RunAggregate() (*notary.Aggregate, error) {
+	agg := notary.NewAggregate()
+	err := s.Run(func(r *notary.Record) { agg.Add(r) })
+	return agg, err
+}
+
+// connection simulates one observed connection in month m.
+func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand) (*notary.Record, error) {
+	date := timeline.Date{Year: m.Year, Month: m.M, Day: 1 + rnd.Intn(28)}
+	profile, relIdx := s.Clients.Sample(date, rnd)
+	rel := profile.Releases[relIdx]
+	cfg := rel.Config
+
+	_, serverCfg := s.Servers.SampleForClient(profile.Name, date, rnd)
+
+	rec := &notary.Record{
+		Date:         date,
+		TruthClient:  profile.Name,
+		ServerCohort: serverCfg.Name,
+	}
+
+	// The Nagios monitoring traffic opens with SSLv2-compatible hellos part
+	// of the time (§5.1).
+	if cfg.SSLv2Compat && rnd.Float64() < 0.3 {
+		return s.sslv2Connection(rec, &cfg, serverCfg, rnd)
+	}
+
+	hello, err := s.buildHello(&cfg, profile.Name, rnd, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.observe(rec, hello); err != nil {
+		return nil, err
+	}
+
+	res := handshake.Negotiate(hello, serverCfg)
+
+	// Version fallback dance: real pre-2015 clients retried failed
+	// handshakes at lower versions (and Firefox's RC4-fallback retried with
+	// RC4 restored).
+	if !res.OK && (cfg.SSL3Fallback || cfg.RC4FallbackOnly) {
+		for _, v := range fallbackVersions(&cfg) {
+			fb := cfg
+			fb.LegacyVersion = v
+			fb.SupportedVersions = nil
+			retryHello, err := s.buildHello(&fb, profile.Name, rnd, true)
+			if err != nil {
+				return nil, err
+			}
+			res = handshake.Negotiate(retryHello, serverCfg)
+			if res.OK {
+				rec.UsedFallback = true
+				// The Notary sees the successful exchange's hello.
+				if err := s.observe(rec, retryHello); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+
+	s.finishRecord(rec, &cfg, profile.Name, res)
+	return rec, nil
+}
+
+// fallbackVersions lists the retry versions a fallback-capable client walks
+// through, highest first.
+func fallbackVersions(cfg *clientdb.Config) []registry.Version {
+	var out []registry.Version
+	max := cfg.LegacyVersion
+	if max > registry.VersionTLS12 {
+		max = registry.VersionTLS12
+	}
+	for v := max; v >= registry.VersionTLS10; v -= 1 {
+		out = append(out, v)
+	}
+	if cfg.SSL3Fallback && cfg.MinVersion <= registry.VersionSSL3 {
+		out = append(out, registry.VersionSSL3)
+	}
+	return out
+}
+
+// buildHello constructs (and optionally wire-round-trips) a hello.
+func (s *Simulator) buildHello(cfg *clientdb.Config, profileName string, rnd *rand.Rand, fallback bool) (*wire.ClientHello, error) {
+	working := cfg
+	if profileName == clientdb.RandomizerProfileName {
+		// The §4.1 randomizer: a fresh cipher order every connection.
+		shuffled := *cfg
+		shuffled.Suites = append([]uint16(nil), cfg.Suites...)
+		rnd.Shuffle(len(shuffled.Suites), func(i, j int) {
+			shuffled.Suites[i], shuffled.Suites[j] = shuffled.Suites[j], shuffled.Suites[i]
+		})
+		working = &shuffled
+	}
+	hello := working.BuildHello(rnd, fallback)
+	if !s.opts.WireLevel {
+		return hello, nil
+	}
+	raw, err := hello.AppendRecord(nil)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: encoding hello for %s: %w", profileName, err)
+	}
+	recBytes, _, err := wire.DecodeRecord(raw)
+	if err != nil {
+		return nil, err
+	}
+	_, body, _, err := wire.DecodeHandshake(recBytes.Payload)
+	if err != nil {
+		return nil, err
+	}
+	var parsed wire.ClientHello
+	if err := parsed.DecodeFromBytes(body); err != nil {
+		return nil, fmt.Errorf("simulate: reparsing hello for %s: %w", profileName, err)
+	}
+	return &parsed, nil
+}
+
+// observe fills the record's client-side fields and fingerprint.
+func (s *Simulator) observe(rec *notary.Record, hello *wire.ClientHello) error {
+	rec.FromClientHello(hello)
+	rec.Fingerprint = ""
+	if !timeline.MonthOf(rec.Date).Before(s.opts.FingerprintFrom) && fingerprint.Usable(hello.CipherSuites) {
+		rec.Fingerprint = string(fingerprint.FromClientHello(hello))
+	}
+	return nil
+}
+
+// finishRecord applies the negotiation outcome.
+func (s *Simulator) finishRecord(rec *notary.Record, cfg *clientdb.Config, profileName string, res handshake.Result) {
+	if !res.OK {
+		rec.Established = false
+		rec.AlertDesc = res.Alert.Description
+		return
+	}
+	rec.Version = res.Version
+	rec.Suite = res.Suite
+	rec.Curve = res.Curve
+	rec.HeartbeatAck = res.HeartbeatAck
+	rec.SuiteUnoffer = res.SuiteUnoffered
+	// A spec-violating suite choice aborts the handshake for compliant
+	// clients; the Interwise client of §5.5 completed it anyway.
+	tolerant := profileName == "Interwise client"
+	rec.Established = !res.SuiteUnoffered || tolerant
+	// Version floor on the client side.
+	if res.Version < cfg.MinVersion.Canonical() {
+		rec.Established = false
+		rec.AlertDesc = wire.AlertProtocolVersion
+	}
+	return
+}
+
+// sslv2Connection handles the legacy SSLv2-compatible opening.
+func (s *Simulator) sslv2Connection(rec *notary.Record, cfg *clientdb.Config, serverCfg *handshake.ServerConfig, rnd *rand.Rand) (*notary.Record, error) {
+	v2 := &wire.SSLv2ClientHello{
+		Version:     registry.VersionSSL2,
+		CipherSpecs: []uint32{0x010080, 0x020080},
+		Challenge:   make([]byte, 16),
+	}
+	for _, id := range cfg.Suites {
+		v2.CipherSpecs = append(v2.CipherSpecs, uint32(id))
+	}
+	rnd.Read(v2.Challenge)
+	if s.opts.WireLevel {
+		raw, err := v2.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.ObserveWire(raw); err != nil {
+			return nil, err
+		}
+	} else {
+		rec.SSLv2Hello = true
+		rec.ClientVersion = registry.VersionSSL2
+		rec.ClientSuites = wire.TLSSuitesFromSSLv2(v2.CipherSpecs)
+	}
+	res := handshake.NegotiateSSLv2(v2, serverCfg)
+	if res.OK {
+		rec.Established = true
+		rec.Version = registry.VersionSSL2
+		rec.Suite = res.Suite
+	} else {
+		rec.AlertDesc = res.Alert.Description
+	}
+	return rec, nil
+}

@@ -1,0 +1,138 @@
+package timeline
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDateOrdering(t *testing.T) {
+	a := D(2014, time.April, 7)
+	b := D(2014, time.October, 14)
+	if !a.Before(b) || b.Before(a) || !b.After(a) {
+		t.Error("date ordering broken")
+	}
+	if a.Before(a) || !a.AtOrAfter(a) {
+		t.Error("date self-comparison broken")
+	}
+	if got := b.DaysSince(a); got != 190 {
+		t.Errorf("DaysSince = %d, want 190", got)
+	}
+}
+
+func TestMonthArithmetic(t *testing.T) {
+	m := M(2012, time.December)
+	if m.Next() != M(2013, time.January) {
+		t.Error("Next across year boundary")
+	}
+	if m.AddMonths(14) != M(2014, time.February) {
+		t.Errorf("AddMonths(14) = %v", m.AddMonths(14))
+	}
+	if m.AddMonths(-12) != M(2011, time.December) {
+		t.Errorf("AddMonths(-12) = %v", m.AddMonths(-12))
+	}
+	if M(2018, time.April).Sub(M(2012, time.February)) != 74 {
+		t.Error("study window should span 74 month-steps")
+	}
+}
+
+func TestMonthAddSubProperty(t *testing.T) {
+	f := func(y uint8, mo uint8, n int16) bool {
+		m := M(2000+int(y%30), time.Month(mo%12)+1)
+		shifted := m.AddMonths(int(n))
+		return shifted.Sub(m) == int(n) && shifted.AddMonths(-int(n)) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyMonths(t *testing.T) {
+	months := StudyMonths()
+	if len(months) != 75 {
+		t.Fatalf("study window = %d months, want 75 (Feb 2012 .. Apr 2018)", len(months))
+	}
+	if months[0] != StudyStart || months[len(months)-1] != StudyEnd {
+		t.Error("study window endpoints wrong")
+	}
+	for i := 1; i < len(months); i++ {
+		if months[i].Sub(months[i-1]) != 1 {
+			t.Fatal("non-contiguous study months")
+		}
+	}
+}
+
+func TestMonthsBetweenEmpty(t *testing.T) {
+	if got := MonthsBetween(M(2018, time.April), M(2012, time.February)); got != nil {
+		t.Error("reversed range should be empty")
+	}
+}
+
+func TestMonthOfAndStrings(t *testing.T) {
+	d := D(2015, time.March, 3)
+	if MonthOf(d) != M(2015, time.March) {
+		t.Error("MonthOf broken")
+	}
+	if d.String() != "2015-03-03" {
+		t.Errorf("Date.String = %s", d)
+	}
+	if MonthOf(d).String() != "2015-03" {
+		t.Errorf("Month.String = %s", MonthOf(d))
+	}
+	if MonthOf(d).Mid().Day != 15 || MonthOf(d).Start().Day != 1 {
+		t.Error("Mid/Start days wrong")
+	}
+}
+
+func TestEventCatalogue(t *testing.T) {
+	evs := Events()
+	if len(evs) < 10 {
+		t.Fatalf("expected ≥10 events, got %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Date.Before(evs[i-1].Date) {
+			t.Errorf("events out of order: %s before %s", evs[i].Name, evs[i-1].Name)
+		}
+	}
+	// Disclosure dates from §2.2.
+	checks := map[string]Date{
+		EventBEAST:      D(2011, time.September, 6),
+		EventLucky13:    D(2012, time.December, 6),
+		EventRC4:        D(2013, time.March, 12),
+		EventPOODLE:     D(2014, time.October, 14),
+		EventFREAK:      D(2015, time.March, 3),
+		EventLogjam:     D(2015, time.May, 20),
+		EventSweet32:    D(2016, time.August, 31),
+		EventHeartbleed: D(2014, time.April, 7),
+	}
+	for name, want := range checks {
+		got, ok := EventDate(name)
+		if !ok || got != want {
+			t.Errorf("EventDate(%s) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := EventDate("nonexistent"); ok {
+		t.Error("unknown event found")
+	}
+}
+
+func TestEventsBefore(t *testing.T) {
+	pre2014 := EventsBefore(D(2014, time.January, 1))
+	for _, e := range pre2014 {
+		if !e.Date.Before(D(2014, time.January, 1)) {
+			t.Errorf("event %s not before 2014", e.Name)
+		}
+	}
+	if len(pre2014) != 4 { // BEAST, Lucky13, RC4, Snowden
+		t.Errorf("EventsBefore(2014) = %d events, want 4", len(pre2014))
+	}
+}
+
+func TestMustEventDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEventDate should panic on unknown event")
+		}
+	}()
+	MustEventDate("nope")
+}

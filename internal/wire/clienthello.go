@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"fmt"
+
+	"tlsage/internal/registry"
+)
+
+// ClientHello is a parsed TLS ClientHello handshake message (RFC 5246
+// §7.4.1.2). Field order matches the wire layout. All slices are owned by
+// the struct (decoding copies out of the input buffer).
+type ClientHello struct {
+	Version            registry.Version // legacy_version on the wire
+	Random             [32]byte
+	SessionID          []byte
+	CipherSuites       []uint16
+	CompressionMethods []byte
+	Extensions         []Extension
+}
+
+// Append serializes the ClientHello handshake body (without the handshake
+// header) into dst and returns the extended slice.
+func (ch *ClientHello) Append(dst []byte) ([]byte, error) {
+	b := builder{buf: dst}
+	b.u16(uint16(ch.Version))
+	b.raw(ch.Random[:])
+	if len(ch.SessionID) > 32 {
+		return dst, fmt.Errorf("%w: session id %d bytes", ErrMalformed, len(ch.SessionID))
+	}
+	b.vec8(ch.SessionID)
+	if len(ch.CipherSuites) == 0 {
+		return dst, fmt.Errorf("%w: empty cipher suite list", ErrMalformed)
+	}
+	b.u16listVec(ch.CipherSuites)
+	comp := ch.CompressionMethods
+	if len(comp) == 0 {
+		comp = []byte{0}
+	}
+	b.vec8(comp)
+	if err := appendExtensions(&b, ch.Extensions); err != nil {
+		return dst, err
+	}
+	return b.buf, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, returning the handshake
+// body.
+func (ch *ClientHello) MarshalBinary() ([]byte, error) { return ch.Append(nil) }
+
+// DecodeFromBytes parses a ClientHello handshake body. On error the receiver
+// is left in an undefined state. The input is not retained.
+func (ch *ClientHello) DecodeFromBytes(data []byte) error {
+	r := newReader(data)
+	ch.Version = registry.Version(r.u16("client version"))
+	copy(ch.Random[:], r.bytes(32, "random"))
+	sid := r.vec8("session id")
+	suites := r.u16list("cipher suites")
+	comp := r.vec8("compression methods")
+	if r.err != nil {
+		return r.err
+	}
+	ch.SessionID = append([]byte(nil), sid...)
+	ch.CipherSuites = append([]uint16(nil), suites...)
+	ch.CompressionMethods = append([]byte(nil), comp...)
+	ch.Extensions = nil
+	if r.empty() {
+		return nil // SSL3-style hello without extensions
+	}
+	exts, err := parseExtensions(r)
+	if err != nil {
+		return err
+	}
+	if !r.empty() {
+		return fmt.Errorf("%w: %d trailing bytes after extensions", ErrMalformed, len(r.data))
+	}
+	ch.Extensions = exts
+	return nil
+}
+
+// AppendRecord serializes the full on-the-wire form: handshake header plus
+// record header, appended to dst.
+func (ch *ClientHello) AppendRecord(dst []byte) ([]byte, error) {
+	body, err := ch.MarshalBinary()
+	if err != nil {
+		return dst, err
+	}
+	msg, err := AppendHandshake(nil, TypeClientHello, body)
+	if err != nil {
+		return dst, err
+	}
+	// The record-layer version of a ClientHello is conventionally TLS 1.0
+	// for maximum middlebox tolerance when the hello itself is ≥ TLS 1.0.
+	recVer := ch.Version
+	if recVer > registry.VersionTLS10 {
+		recVer = registry.VersionTLS10
+	}
+	return AppendRecord(dst, ContentHandshake, recVer, msg)
+}
+
+// ExtensionIDs returns the extension code points in wire order.
+func (ch *ClientHello) ExtensionIDs() []registry.ExtensionID {
+	out := make([]registry.ExtensionID, len(ch.Extensions))
+	for i, e := range ch.Extensions {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// SupportedGroups returns the curves offered in the supported_groups
+// extension, or nil when absent.
+func (ch *ClientHello) SupportedGroups() []registry.CurveID {
+	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedGroups)
+	if !ok {
+		return nil
+	}
+	curves, err := ParseSupportedGroups(e.Data)
+	if err != nil {
+		return nil
+	}
+	return curves
+}
+
+// ECPointFormats returns the offered EC point formats, or nil when absent.
+func (ch *ClientHello) ECPointFormats() []registry.ECPointFormat {
+	e, ok := FindExtension(ch.Extensions, registry.ExtECPointFormats)
+	if !ok {
+		return nil
+	}
+	formats, err := ParseECPointFormats(e.Data)
+	if err != nil {
+		return nil
+	}
+	return formats
+}
+
+// SupportedVersions returns the supported_versions list (TLS 1.3 style
+// version negotiation), or nil when the extension is absent.
+func (ch *ClientHello) SupportedVersions() []registry.Version {
+	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedVersions)
+	if !ok {
+		return nil
+	}
+	versions, err := ParseSupportedVersions(e.Data)
+	if err != nil {
+		return nil
+	}
+	return versions
+}
+
+// OffersHeartbeat reports whether the hello carries the heartbeat extension.
+func (ch *ClientHello) OffersHeartbeat() bool {
+	_, ok := FindExtension(ch.Extensions, registry.ExtHeartbeat)
+	return ok
+}
+
+// ServerName returns the SNI host name, or "" when absent or unparseable.
+func (ch *ClientHello) ServerName() string {
+	e, ok := FindExtension(ch.Extensions, registry.ExtServerName)
+	if !ok {
+		return ""
+	}
+	name, err := ParseServerName(e.Data)
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
+// MaxSupportedVersion returns the highest protocol version the hello offers:
+// the maximum of the supported_versions list when present (TLS 1.3
+// semantics, draft and experimental values canonicalized), otherwise the
+// legacy version field.
+func (ch *ClientHello) MaxSupportedVersion() registry.Version {
+	svs := ch.SupportedVersions()
+	if len(svs) == 0 {
+		return ch.Version
+	}
+	max := registry.Version(0)
+	for _, v := range svs {
+		if registry.IsGREASE(uint16(v)) {
+			continue
+		}
+		if c := v.Canonical(); c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ch.Version
+	}
+	return max
+}

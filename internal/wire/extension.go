@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tlsage/internal/registry"
+)
+
+// Extension is one raw TLS extension: its code point and opaque body.
+// Typed accessors for the bodies the study decodes (supported_groups,
+// ec_point_formats, supported_versions, server_name, heartbeat) live on
+// ClientHello/ServerHello.
+type Extension struct {
+	ID   registry.ExtensionID
+	Data []byte
+}
+
+// appendExtensions serializes an extension block (uint16 total length, then
+// each extension as ID, uint16 body length, body).
+func appendExtensions(b *builder, exts []Extension) error {
+	var inner builder
+	for _, e := range exts {
+		if len(e.Data) > 0xffff {
+			return fmt.Errorf("%w: extension %v body too large", ErrMalformed, e.ID)
+		}
+		inner.u16(uint16(e.ID))
+		inner.vec16(e.Data)
+	}
+	if len(inner.buf) > 0xffff {
+		return fmt.Errorf("%w: extension block too large", ErrMalformed)
+	}
+	b.vec16(inner.buf)
+	return nil
+}
+
+// parseExtensions parses an extension block. Bodies are copied so the result
+// does not alias the input.
+func parseExtensions(r *reader) ([]Extension, error) {
+	block := r.vec16("extensions block")
+	if r.err != nil {
+		return nil, r.err
+	}
+	er := newReader(block)
+	var out []Extension
+	for !er.empty() {
+		id := er.u16("extension id")
+		body := er.vec16("extension body")
+		if er.err != nil {
+			return nil, er.err
+		}
+		out = append(out, Extension{
+			ID:   registry.ExtensionID(id),
+			Data: append([]byte(nil), body...),
+		})
+	}
+	return out, nil
+}
+
+// FindExtension returns the first extension with the given ID, or false.
+func FindExtension(exts []Extension, id registry.ExtensionID) (Extension, bool) {
+	for _, e := range exts {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Extension{}, false
+}
+
+// --- Typed extension constructors ---
+
+// NewSupportedGroupsExtension builds a supported_groups (elliptic_curves)
+// extension body from the curve list.
+func NewSupportedGroupsExtension(curves []registry.CurveID) Extension {
+	var b builder
+	vals := make([]uint16, len(curves))
+	for i, c := range curves {
+		vals[i] = uint16(c)
+	}
+	b.u16listVec(vals)
+	return Extension{ID: registry.ExtSupportedGroups, Data: b.buf}
+}
+
+// NewECPointFormatsExtension builds an ec_point_formats extension body.
+func NewECPointFormatsExtension(formats []registry.ECPointFormat) Extension {
+	body := make([]byte, 1+len(formats))
+	body[0] = byte(len(formats))
+	for i, f := range formats {
+		body[1+i] = byte(f)
+	}
+	return Extension{ID: registry.ExtECPointFormats, Data: body}
+}
+
+// NewSupportedVersionsExtension builds the TLS 1.3 supported_versions
+// ClientHello body (uint8 length prefix, then uint16 versions).
+func NewSupportedVersionsExtension(versions []registry.Version) Extension {
+	body := make([]byte, 1, 1+2*len(versions))
+	body[0] = byte(2 * len(versions))
+	for _, v := range versions {
+		body = append(body, byte(v>>8), byte(v))
+	}
+	return Extension{ID: registry.ExtSupportedVersions, Data: body}
+}
+
+// NewHeartbeatExtension builds a heartbeat extension (RFC 6520) with the
+// given mode (1 = peer_allowed_to_send).
+func NewHeartbeatExtension(mode uint8) Extension {
+	return Extension{ID: registry.ExtHeartbeat, Data: []byte{mode}}
+}
+
+// NewServerNameExtension builds a server_name (SNI) extension carrying one
+// host_name entry.
+func NewServerNameExtension(host string) Extension {
+	var b builder
+	var list builder
+	list.u8(0) // name_type host_name
+	list.vec16([]byte(host))
+	b.vec16(list.buf)
+	return Extension{ID: registry.ExtServerName, Data: b.buf}
+}
+
+// --- Typed extension parsers ---
+
+// ParseSupportedGroups decodes a supported_groups body.
+func ParseSupportedGroups(data []byte) ([]registry.CurveID, error) {
+	r := newReader(data)
+	vals := r.u16list("supported_groups")
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]registry.CurveID, len(vals))
+	for i, v := range vals {
+		out[i] = registry.CurveID(v)
+	}
+	return out, nil
+}
+
+// ParseECPointFormats decodes an ec_point_formats body.
+func ParseECPointFormats(data []byte) ([]registry.ECPointFormat, error) {
+	r := newReader(data)
+	body := r.vec8("ec_point_formats")
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]registry.ECPointFormat, len(body))
+	for i, v := range body {
+		out[i] = registry.ECPointFormat(v)
+	}
+	return out, nil
+}
+
+// ParseSupportedVersions decodes a ClientHello supported_versions body.
+func ParseSupportedVersions(data []byte) ([]registry.Version, error) {
+	r := newReader(data)
+	body := r.vec8("supported_versions")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(body)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd supported_versions length", ErrMalformed)
+	}
+	out := make([]registry.Version, len(body)/2)
+	for i := range out {
+		out[i] = registry.Version(binary.BigEndian.Uint16(body[2*i:]))
+	}
+	return out, nil
+}
+
+// ParseServerName decodes the first host_name entry of a server_name body.
+func ParseServerName(data []byte) (string, error) {
+	r := newReader(data)
+	list := r.vec16("server_name list")
+	if r.err != nil {
+		return "", r.err
+	}
+	lr := newReader(list)
+	for !lr.empty() {
+		nameType := lr.u8("server_name type")
+		name := lr.vec16("server_name value")
+		if lr.err != nil {
+			return "", lr.err
+		}
+		if nameType == 0 {
+			return string(name), nil
+		}
+	}
+	return "", fmt.Errorf("%w: no host_name entry", ErrMalformed)
+}
+
+// ParseHeartbeatMode decodes a heartbeat extension body.
+func ParseHeartbeatMode(data []byte) (uint8, error) {
+	if len(data) < 1 {
+		return 0, fmt.Errorf("%w: heartbeat body", ErrTruncated)
+	}
+	return data[0], nil
+}

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"fmt"
+
+	"tlsage/internal/registry"
+)
+
+// ServerHello is a parsed TLS ServerHello handshake message: the server's
+// choice of version, cipher suite and extensions.
+type ServerHello struct {
+	Version           registry.Version
+	Random            [32]byte
+	SessionID         []byte
+	CipherSuite       uint16
+	CompressionMethod byte
+	Extensions        []Extension
+}
+
+// Append serializes the ServerHello handshake body into dst.
+func (sh *ServerHello) Append(dst []byte) ([]byte, error) {
+	b := builder{buf: dst}
+	b.u16(uint16(sh.Version))
+	b.raw(sh.Random[:])
+	if len(sh.SessionID) > 32 {
+		return dst, fmt.Errorf("%w: session id %d bytes", ErrMalformed, len(sh.SessionID))
+	}
+	b.vec8(sh.SessionID)
+	b.u16(sh.CipherSuite)
+	b.u8(sh.CompressionMethod)
+	if err := appendExtensions(&b, sh.Extensions); err != nil {
+		return dst, err
+	}
+	return b.buf, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, returning the handshake
+// body.
+func (sh *ServerHello) MarshalBinary() ([]byte, error) { return sh.Append(nil) }
+
+// DecodeFromBytes parses a ServerHello handshake body. The input is not
+// retained.
+func (sh *ServerHello) DecodeFromBytes(data []byte) error {
+	r := newReader(data)
+	sh.Version = registry.Version(r.u16("server version"))
+	copy(sh.Random[:], r.bytes(32, "random"))
+	sid := r.vec8("session id")
+	sh.CipherSuite = r.u16("cipher suite")
+	sh.CompressionMethod = r.u8("compression method")
+	if r.err != nil {
+		return r.err
+	}
+	sh.SessionID = append([]byte(nil), sid...)
+	sh.Extensions = nil
+	if r.empty() {
+		return nil
+	}
+	exts, err := parseExtensions(r)
+	if err != nil {
+		return err
+	}
+	if !r.empty() {
+		return fmt.Errorf("%w: %d trailing bytes after extensions", ErrMalformed, len(r.data))
+	}
+	sh.Extensions = exts
+	return nil
+}
+
+// AppendRecord serializes the full on-the-wire form (record + handshake
+// headers) appended to dst.
+func (sh *ServerHello) AppendRecord(dst []byte) ([]byte, error) {
+	body, err := sh.MarshalBinary()
+	if err != nil {
+		return dst, err
+	}
+	msg, err := AppendHandshake(nil, TypeServerHello, body)
+	if err != nil {
+		return dst, err
+	}
+	recVer := sh.Version
+	if recVer.IsTLS13Variant() {
+		recVer = registry.VersionTLS12 // 1.3 ServerHellos use a 1.2 record version
+	}
+	return AppendRecord(dst, ContentHandshake, recVer, msg)
+}
+
+// SelectedVersion returns the negotiated protocol version, honouring the
+// supported_versions extension when the server used TLS 1.3 negotiation.
+func (sh *ServerHello) SelectedVersion() registry.Version {
+	e, ok := FindExtension(sh.Extensions, registry.ExtSupportedVersions)
+	if ok && len(e.Data) == 2 {
+		return registry.Version(uint16(e.Data[0])<<8 | uint16(e.Data[1]))
+	}
+	return sh.Version
+}
+
+// AcksHeartbeat reports whether the server echoed the heartbeat extension
+// (the condition the paper uses for "heartbeat negotiated", §5.4).
+func (sh *ServerHello) AcksHeartbeat() bool {
+	_, ok := FindExtension(sh.Extensions, registry.ExtHeartbeat)
+	return ok
+}
+
+// NewServerSupportedVersionsExtension builds the ServerHello form of
+// supported_versions: exactly one selected version.
+func NewServerSupportedVersionsExtension(v registry.Version) Extension {
+	return Extension{
+		ID:   registry.ExtSupportedVersions,
+		Data: []byte{byte(v >> 8), byte(v)},
+	}
+}

@@ -1,0 +1,434 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tlsage/internal/registry"
+)
+
+func sampleClientHello() *ClientHello {
+	ch := &ClientHello{
+		Version:            registry.VersionTLS12,
+		SessionID:          []byte{1, 2, 3, 4},
+		CipherSuites:       []uint16{0xC02F, 0xC030, 0xC013, 0xC014, 0x009C, 0x0035, 0x002F, 0x000A},
+		CompressionMethods: []byte{0},
+		Extensions: []Extension{
+			NewServerNameExtension("example.org"),
+			NewSupportedGroupsExtension([]registry.CurveID{registry.CurveX25519, registry.CurveSecp256r1, registry.CurveSecp384r1}),
+			NewECPointFormatsExtension([]registry.ECPointFormat{registry.PointFormatUncompressed}),
+			NewSupportedVersionsExtension([]registry.Version{registry.VersionTLS13, registry.VersionTLS12}),
+			NewHeartbeatExtension(1),
+		},
+	}
+	for i := range ch.Random {
+		ch.Random[i] = byte(i)
+	}
+	return ch
+}
+
+func TestClientHelloRoundTrip(t *testing.T) {
+	ch := sampleClientHello()
+	raw, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ClientHello
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ch, &got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", ch, &got)
+	}
+}
+
+func TestClientHelloAccessors(t *testing.T) {
+	ch := sampleClientHello()
+	if got := ch.ServerName(); got != "example.org" {
+		t.Errorf("ServerName = %q", got)
+	}
+	groups := ch.SupportedGroups()
+	if len(groups) != 3 || groups[0] != registry.CurveX25519 {
+		t.Errorf("SupportedGroups = %v", groups)
+	}
+	pf := ch.ECPointFormats()
+	if len(pf) != 1 || pf[0] != registry.PointFormatUncompressed {
+		t.Errorf("ECPointFormats = %v", pf)
+	}
+	if !ch.OffersHeartbeat() {
+		t.Error("OffersHeartbeat = false")
+	}
+	if got := ch.MaxSupportedVersion(); got != registry.VersionTLS13 {
+		t.Errorf("MaxSupportedVersion = %v", got)
+	}
+	ids := ch.ExtensionIDs()
+	if len(ids) != 5 || ids[0] != registry.ExtServerName {
+		t.Errorf("ExtensionIDs = %v", ids)
+	}
+}
+
+func TestMaxSupportedVersionFallsBackToLegacy(t *testing.T) {
+	ch := &ClientHello{Version: registry.VersionTLS12, CipherSuites: []uint16{0x002F}}
+	if got := ch.MaxSupportedVersion(); got != registry.VersionTLS12 {
+		t.Errorf("MaxSupportedVersion = %v, want TLS12", got)
+	}
+	// GREASE-only supported_versions also falls back.
+	ch.Extensions = []Extension{NewSupportedVersionsExtension([]registry.Version{0x0a0a})}
+	if got := ch.MaxSupportedVersion(); got != registry.VersionTLS12 {
+		t.Errorf("MaxSupportedVersion with GREASE-only list = %v, want TLS12", got)
+	}
+	// Draft versions canonicalize to TLS 1.3.
+	ch.Extensions = []Extension{NewSupportedVersionsExtension([]registry.Version{registry.VersionTLS13Google, registry.VersionTLS12})}
+	if got := ch.MaxSupportedVersion(); got != registry.VersionTLS13 {
+		t.Errorf("MaxSupportedVersion with google draft = %v, want TLS13", got)
+	}
+}
+
+func TestClientHelloNoExtensions(t *testing.T) {
+	ch := &ClientHello{
+		Version:      registry.VersionSSL3,
+		CipherSuites: []uint16{0x0005, 0x0004},
+	}
+	raw, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An SSL3-era hello may legitimately end right after compression methods.
+	// Strip the (empty) extensions block we emit and check the parser accepts
+	// the shorter form.
+	raw = raw[:len(raw)-2]
+	var got ClientHello
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Extensions) != 0 {
+		t.Errorf("expected no extensions, got %v", got.Extensions)
+	}
+	if got.SupportedGroups() != nil || got.ServerName() != "" || got.OffersHeartbeat() {
+		t.Error("accessors on extension-less hello should be empty")
+	}
+}
+
+func TestClientHelloEmptySuitesRejected(t *testing.T) {
+	ch := &ClientHello{Version: registry.VersionTLS12}
+	if _, err := ch.MarshalBinary(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("empty suite list should be rejected, got %v", err)
+	}
+}
+
+func TestClientHelloTruncationNeverPanics(t *testing.T) {
+	full := sampleClientHello()
+	raw, err := full.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The one prefix that is legitimately parseable: a hello ending exactly
+	// after compression methods (extension-less SSL3-style form).
+	noExtLen := 2 + 32 + 1 + len(full.SessionID) + 2 + 2*len(full.CipherSuites) + 1 + len(full.CompressionMethods)
+	for i := 0; i < len(raw); i++ {
+		var ch ClientHello
+		err := ch.DecodeFromBytes(raw[:i])
+		if err == nil {
+			if i != noExtLen {
+				t.Fatalf("truncated hello of %d/%d bytes decoded without error", i, len(raw))
+			}
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("error not wrapping ErrMalformed: %v", err)
+		}
+	}
+}
+
+func TestServerHelloRoundTrip(t *testing.T) {
+	sh := &ServerHello{
+		Version:     registry.VersionTLS12,
+		SessionID:   []byte{9, 9},
+		CipherSuite: 0xC02F,
+		Extensions: []Extension{
+			NewHeartbeatExtension(1),
+			NewServerSupportedVersionsExtension(registry.VersionTLS13),
+		},
+	}
+	raw, err := sh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ServerHello
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sh, &got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", sh, &got)
+	}
+	if !got.AcksHeartbeat() {
+		t.Error("AcksHeartbeat = false")
+	}
+	if got.SelectedVersion() != registry.VersionTLS13 {
+		t.Errorf("SelectedVersion = %v, want TLS13 via supported_versions", got.SelectedVersion())
+	}
+}
+
+func TestServerHelloSelectedVersionLegacy(t *testing.T) {
+	sh := &ServerHello{Version: registry.VersionTLS11, CipherSuite: 0x002F}
+	if sh.SelectedVersion() != registry.VersionTLS11 {
+		t.Error("SelectedVersion should fall back to legacy version")
+	}
+}
+
+func TestServerHelloTruncation(t *testing.T) {
+	sh := &ServerHello{Version: registry.VersionTLS12, CipherSuite: 0xC02F,
+		Extensions: []Extension{NewHeartbeatExtension(1)}}
+	raw, _ := sh.MarshalBinary()
+	noExtLen := 2 + 32 + 1 + len(sh.SessionID) + 2 + 1
+	for i := 0; i < len(raw); i++ {
+		var got ServerHello
+		if err := got.DecodeFromBytes(raw[:i]); err == nil && i != noExtLen {
+			t.Fatalf("truncated server hello of %d bytes decoded", i)
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	raw, err := AppendRecord(nil, ContentHandshake, registry.VersionTLS10, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, n, err := DecodeRecord(raw)
+	if err != nil || n != len(raw) {
+		t.Fatalf("DecodeRecord: %v n=%d", err, n)
+	}
+	if rec.Type != ContentHandshake || rec.Version != registry.VersionTLS10 || !bytes.Equal(rec.Payload, payload) {
+		t.Errorf("record mismatch: %+v", rec)
+	}
+	// Stream form.
+	rec2, err := ReadRecord(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec2.Payload, payload) {
+		t.Error("ReadRecord payload mismatch")
+	}
+}
+
+func TestRecordOversizeRejected(t *testing.T) {
+	big := make([]byte, maxRecordLen+1)
+	if _, err := AppendRecord(nil, ContentHandshake, registry.VersionTLS10, big); err == nil {
+		t.Error("oversize record accepted")
+	}
+	hdr := []byte{22, 3, 1, 0xff, 0xff}
+	if _, _, err := DecodeRecord(append(hdr, make([]byte, 0xffff)...)); err == nil {
+		t.Error("oversize record decoded")
+	}
+}
+
+func TestHandshakeFraming(t *testing.T) {
+	body := []byte{0xde, 0xad}
+	msg, err := AppendHandshake(nil, TypeClientHello, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, got, n, err := DecodeHandshake(msg)
+	if err != nil || n != len(msg) {
+		t.Fatal(err)
+	}
+	if typ != TypeClientHello || !bytes.Equal(got, body) {
+		t.Error("handshake framing mismatch")
+	}
+	if _, _, _, err := DecodeHandshake(msg[:3]); err == nil {
+		t.Error("truncated handshake header decoded")
+	}
+}
+
+func TestFullRecordPath(t *testing.T) {
+	// ClientHello → record bytes → record decode → handshake decode → hello.
+	ch := sampleClientHello()
+	raw, err := ch.AppendRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := DecodeRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != ContentHandshake {
+		t.Fatalf("record type %v", rec.Type)
+	}
+	if rec.Version != registry.VersionTLS10 {
+		t.Fatalf("record version %v, want TLS10 clamp", rec.Version)
+	}
+	typ, body, _, err := DecodeHandshake(rec.Payload)
+	if err != nil || typ != TypeClientHello {
+		t.Fatal(err)
+	}
+	var got ClientHello
+	if err := got.DecodeFromBytes(body); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ch, &got) {
+		t.Error("full path mismatch")
+	}
+}
+
+func TestServerHelloRecordVersionClamp(t *testing.T) {
+	sh := &ServerHello{Version: registry.VersionTLS13, CipherSuite: 0x1301}
+	raw, err := sh.AppendRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := DecodeRecord(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != registry.VersionTLS12 {
+		t.Errorf("TLS 1.3 ServerHello record version = %v, want TLS12", rec.Version)
+	}
+}
+
+func TestAlertRoundTrip(t *testing.T) {
+	a := Alert{Level: 2, Description: AlertHandshakeFailure}
+	raw, _ := a.MarshalBinary()
+	var got Alert
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Error("alert mismatch")
+	}
+	if got.String() == "" {
+		t.Error("empty alert string")
+	}
+	if err := got.DecodeFromBytes([]byte{1}); err == nil {
+		t.Error("short alert decoded")
+	}
+}
+
+func TestSSLv2RoundTrip(t *testing.T) {
+	h := &SSLv2ClientHello{
+		Version:     registry.VersionSSL2,
+		CipherSpecs: []uint32{0x010080, 0x020080, 0x000005}, // v2 RC4, v2 RC4-export, TLS RSA_RC4_SHA
+		Challenge:   bytes.Repeat([]byte{7}, 16),
+	}
+	raw, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSSLv2Hello(raw) {
+		t.Error("IsSSLv2Hello = false on valid hello")
+	}
+	var got SSLv2ClientHello
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != registry.VersionSSL2 || len(got.CipherSpecs) != 3 {
+		t.Errorf("sslv2 decode: %+v", got)
+	}
+	if got.SessionID == nil {
+		got.SessionID = []byte{}
+	}
+	tls := TLSSuitesFromSSLv2(got.CipherSpecs)
+	if len(tls) != 1 || tls[0] != 0x0005 {
+		t.Errorf("TLSSuitesFromSSLv2 = %v", tls)
+	}
+}
+
+func TestSSLv2Truncation(t *testing.T) {
+	h := &SSLv2ClientHello{Version: registry.VersionSSL2, CipherSpecs: []uint32{0x010080}, Challenge: make([]byte, 16)}
+	raw, _ := h.MarshalBinary()
+	for i := 0; i < len(raw); i++ {
+		var got SSLv2ClientHello
+		if err := got.DecodeFromBytes(raw[:i]); err == nil {
+			t.Fatalf("truncated sslv2 hello of %d bytes decoded", i)
+		}
+	}
+	// A TLS record is not an SSLv2 hello.
+	if IsSSLv2Hello([]byte{22, 3, 1, 0, 5}) {
+		t.Error("TLS record misdetected as SSLv2")
+	}
+}
+
+func TestIsSSLv2HelloRejectsNonHelloType(t *testing.T) {
+	// High bit set but message type 4 (server-verify) is not a client hello.
+	if IsSSLv2Hello([]byte{0x80, 0x03, 0x04}) {
+		t.Error("non-CLIENT-HELLO sslv2 message misdetected")
+	}
+}
+
+// quickClientHello generates structurally valid random ClientHellos for the
+// round-trip property test.
+func quickClientHello(r *rand.Rand) *ClientHello {
+	ch := &ClientHello{
+		Version: []registry.Version{registry.VersionSSL3, registry.VersionTLS10,
+			registry.VersionTLS11, registry.VersionTLS12}[r.Intn(4)],
+		SessionID:          make([]byte, r.Intn(33)),
+		CipherSuites:       make([]uint16, 1+r.Intn(64)),
+		CompressionMethods: []byte{0},
+	}
+	r.Read(ch.Random[:])
+	r.Read(ch.SessionID)
+	for i := range ch.CipherSuites {
+		ch.CipherSuites[i] = uint16(r.Intn(0x10000))
+	}
+	if len(ch.SessionID) == 0 {
+		ch.SessionID = []byte{}
+	}
+	nExt := r.Intn(5)
+	for i := 0; i < nExt; i++ {
+		var body []byte
+		if n := r.Intn(40); n > 0 {
+			body = make([]byte, n)
+			r.Read(body)
+		}
+		ch.Extensions = append(ch.Extensions, Extension{
+			ID:   registry.ExtensionID(r.Intn(0x10000)),
+			Data: body,
+		})
+	}
+	return ch
+}
+
+func TestClientHelloRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		ch := quickClientHello(r)
+		raw, err := ch.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got ClientHello
+		if err := got.DecodeFromBytes(raw); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		// Normalize nil vs empty for comparison.
+		if got.SessionID == nil {
+			got.SessionID = []byte{}
+		}
+		if !reflect.DeepEqual(ch, &got) {
+			t.Fatalf("iteration %d mismatch:\n%+v\n%+v", i, ch, &got)
+		}
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	// Property: arbitrary input must produce an error or a valid struct,
+	// never a panic. testing/quick drives the fuzzing.
+	f := func(data []byte) bool {
+		var ch ClientHello
+		_ = ch.DecodeFromBytes(data)
+		var sh ServerHello
+		_ = sh.DecodeFromBytes(data)
+		var v2 SSLv2ClientHello
+		_ = v2.DecodeFromBytes(data)
+		_, _, _ = DecodeRecord(data)
+		_, _, _, _ = DecodeHandshake(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
