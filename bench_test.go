@@ -317,6 +317,50 @@ func benchSimulate(b *testing.B, wireLevel bool) {
 func BenchmarkAblationSimWireLevel(b *testing.B)   { benchSimulate(b, true) }
 func BenchmarkAblationSimStructLevel(b *testing.B) { benchSimulate(b, false) }
 
+// Ablation 5: parallel sharded simulation vs the sequential path, at the
+// study configuration (800 conns/month, full window, wire level). Reports
+// the serial and 8-worker wall-clock and their ratio.
+func BenchmarkAblationSimParallelSpeedup(b *testing.B) {
+	opts := simulate.DefaultOptions(800)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		opts.Workers = 1
+		start := time.Now()
+		if _, err := simulate.New(opts).RunAggregate(); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+		opts.Workers = 8
+		start = time.Now()
+		if _, err := simulate.New(opts).RunAggregate(); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(start)
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial_s/op")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel8_s/op")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_8workers")
+}
+
+// Worker-count sweep over the same configuration, one benchmark per width,
+// for profiling scaling behaviour in isolation.
+func benchSimWorkers(b *testing.B, workers int) {
+	opts := simulate.DefaultOptions(800)
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		if _, err := simulate.New(opts).RunAggregate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSimWorkers1(b *testing.B) { benchSimWorkers(b, 1) }
+func BenchmarkAblationSimWorkers4(b *testing.B) { benchSimWorkers(b, 4) }
+func BenchmarkAblationSimWorkers8(b *testing.B) { benchSimWorkers(b, 8) }
+
 // Ablation 2: fingerprinting with GREASE stripping vs a pre-stripped list.
 func BenchmarkAblationFingerprintGREASE(b *testing.B) {
 	rnd := rand.New(rand.NewSource(1))

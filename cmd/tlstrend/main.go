@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tlstrend simulate   [-conns N] [-seed S] [-out conn.log]   run the passive study, optionally writing a TSV log
+//	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend figure     [-n N] [-conns N] [-chart]             print one figure (1–10) as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
 //	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
@@ -88,9 +88,10 @@ commands:
 `)
 }
 
-func runStudy(conns int, seed int64, logPath string) (*core.Study, error) {
+func runStudy(conns int, seed int64, workers int, logPath string) (*core.Study, error) {
 	s := core.NewStudy(conns)
 	s.Options.Seed = seed
+	s.Options.Workers = workers
 	var out *os.File
 	var err error
 	if logPath != "" {
@@ -118,11 +119,12 @@ func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	conns := fs.Int("conns", 1000, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	out := fs.String("out", "", "write a Bro-style TSV connection log to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, *out)
+	s, err := runStudy(*conns, *seed, *workers, *out)
 	if err != nil {
 		return err
 	}
@@ -138,11 +140,12 @@ func cmdFigure(args []string) error {
 	n := fs.Int("n", 1, "figure number (1–10)")
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	chart := fs.Bool("chart", false, "render an ASCII chart instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
@@ -160,10 +163,11 @@ func cmdFigures(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ExitOnError)
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
@@ -222,10 +226,11 @@ func cmdTable2(args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
@@ -309,10 +314,11 @@ func cmdFingerprints(args []string) error {
 	fs := flag.NewFlagSet("fingerprints", flag.ExitOnError)
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
@@ -339,11 +345,12 @@ func cmdExtensions(args []string) error {
 	fs := flag.NewFlagSet("extensions", flag.ExitOnError)
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	chart := fs.Bool("chart", false, "render an ASCII chart instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
@@ -374,10 +381,11 @@ func cmdExperiments(args []string) error {
 	conns := fs.Int("conns", 1500, "connections per month")
 	hosts := fs.Int("hosts", 400, "scan farm size")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := runStudy(*conns, *seed, "")
+	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}

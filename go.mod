@@ -1,0 +1,3 @@
+module tlsage
+
+go 1.24

@@ -1,0 +1,147 @@
+package notary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// randomRecord builds a synthetic but internally consistent Record: the
+// fingerprint, when present, is a hash of the advertised list, exactly as the
+// real fingerprinting pipeline derives it — so FPCaps are a function of the
+// fingerprint and partitioning cannot change them.
+func randomRecord(rnd *rand.Rand, all []registry.Suite) *Record {
+	n := 1 + rnd.Intn(25)
+	suites := make([]uint16, 0, n)
+	for i := 0; i < n; i++ {
+		switch rnd.Intn(12) {
+		case 0:
+			suites = append(suites, registry.GREASEValues()[rnd.Intn(16)])
+		case 1:
+			suites = append(suites, uint16(0xf100+rnd.Intn(64)))
+		default:
+			suites = append(suites, all[rnd.Intn(len(all))].ID)
+		}
+	}
+	r := &Record{
+		Date: timeline.Date{
+			Year:  2012 + rnd.Intn(6),
+			Month: time.Month(1 + rnd.Intn(12)),
+			Day:   1 + rnd.Intn(28),
+		},
+		ClientVersion: registry.VersionTLS12,
+		ClientSuites:  suites,
+		SSLv2Hello:    rnd.Intn(50) == 0,
+	}
+	if rnd.Intn(3) > 0 {
+		r.Fingerprint = fmt.Sprintf("fp-%x", suites)
+	}
+	if rnd.Intn(4) > 0 {
+		r.Established = true
+		r.Version = registry.VersionTLS12
+		r.Suite = all[rnd.Intn(len(all))].ID
+		r.Curve = registry.CurveSecp256r1
+		r.HeartbeatAck = rnd.Intn(10) == 0
+		r.SuiteUnoffer = rnd.Intn(20) == 0
+	}
+	if rnd.Intn(8) == 0 {
+		r.ClientSupportedVs = []registry.Version{registry.VersionTLS13}
+	}
+	r.OffersHeartbeat = rnd.Intn(6) == 0
+	r.ClientExtensions = []registry.ExtensionID{registry.ExtensionID(rnd.Intn(4))}
+	return r
+}
+
+// Merging aggregates built from any partition of a record stream must equal
+// the aggregate built from the whole stream — including FPDurations
+// first/last dates and the PosSum/PosCount position accumulators.
+func TestMergeEqualsSingleStreamAdd(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	all := registry.AllSuites()
+	for trial := 0; trial < 25; trial++ {
+		recs := make([]*Record, 300+rnd.Intn(300))
+		for i := range recs {
+			recs[i] = randomRecord(rnd, all)
+		}
+
+		want := NewAggregate()
+		for _, r := range recs {
+			want.Add(r)
+		}
+
+		parts := make([]*Aggregate, 1+rnd.Intn(6))
+		for i := range parts {
+			parts[i] = NewAggregate()
+		}
+		for _, r := range recs {
+			parts[rnd.Intn(len(parts))].Add(r)
+		}
+		got := NewAggregate()
+		for _, p := range parts {
+			got.Merge(p)
+		}
+
+		// PosSum accumulates idx/(n-1) terms, and float addition is not
+		// associative, so an arbitrary within-month partition may differ in
+		// the last bits. Compare it with an epsilon, everything else exactly.
+		// (The sharded simulation pipeline itself shards at month granularity
+		// and is therefore byte-identical — TestParallelRunAggregateIdentical
+		// in internal/simulate asserts that.)
+		for _, m := range want.Months() {
+			wms, gms := want.Stats(m), got.Stats(m)
+			if gms == nil {
+				t.Fatalf("trial %d: month %v missing after merge", trial, m)
+			}
+			for class, wsum := range wms.PosSum {
+				if diff := math.Abs(wsum - gms.PosSum[class]); diff > 1e-9 {
+					t.Fatalf("trial %d: month %v PosSum[%s] off by %g", trial, m, class, diff)
+				}
+			}
+			if len(wms.PosSum) != len(gms.PosSum) {
+				t.Fatalf("trial %d: month %v PosSum keys differ", trial, m)
+			}
+			gms.PosSum = wms.PosSum
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (%d records, %d shards): merged aggregate differs from single-stream Add",
+				trial, len(recs), len(parts))
+		}
+		if !reflect.DeepEqual(want.FPDurations(), got.FPDurations()) {
+			t.Fatalf("trial %d: FPDurations differ after merge", trial)
+		}
+	}
+}
+
+// Merge must also behave as plain addition when shards overlap months and
+// fingerprints, and must leave its argument intact.
+func TestMergeIsAdditiveAndNonDestructive(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	all := registry.AllSuites()
+	a, b := NewAggregate(), NewAggregate()
+	rec := randomRecord(rnd, all)
+	rec.Fingerprint = "fp-shared"
+	for i := 0; i < 10; i++ {
+		a.Add(rec)
+		b.Add(rec)
+	}
+	snapshot := NewAggregate()
+	snapshot.Merge(b)
+
+	a.Merge(b)
+	m := timeline.MonthOf(rec.Date)
+	if got := a.Stats(m).Total; got != 20 {
+		t.Errorf("merged Total = %d, want 20", got)
+	}
+	if got := a.Stats(m).FPs["fp-shared"].Count; got != 20 {
+		t.Errorf("merged FP count = %d, want 20", got)
+	}
+	if !reflect.DeepEqual(snapshot, b) {
+		t.Error("Merge modified its argument")
+	}
+}

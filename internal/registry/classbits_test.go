@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// classPredicates maps each class bit to the closure predicate it replaces.
+var classPredicates = []struct {
+	name string
+	bit  ClassBits
+	pred func(Suite) bool
+}{
+	{"RC4", ClassRC4, Suite.IsRC4},
+	{"DES", ClassDES, Suite.IsDES},
+	{"3DES", Class3DES, Suite.Is3DES},
+	{"AEAD", ClassAEAD, Suite.IsAEAD},
+	{"CBC", ClassCBC, Suite.IsCBC},
+	{"Export", ClassExport, Suite.IsExport},
+	{"Anon", ClassAnon, Suite.IsAnon},
+	{"NULL", ClassNULL, Suite.IsNULLCipher},
+	{"GCM128", ClassGCM128, func(s Suite) bool { return s.Mode == ModeGCM && s.Cipher == CipherAES128 }},
+	{"GCM256", ClassGCM256, func(s Suite) bool { return s.Mode == ModeGCM && s.Cipher == CipherAES256 }},
+	{"ChaCha", ClassChaCha, func(s Suite) bool { return s.Cipher == CipherChaCha20 }},
+	{"CCM", ClassCCM, func(s Suite) bool { return s.Mode == ModeCCM || s.Mode == ModeCCM8 }},
+}
+
+// Every registered suite's bitmask must agree with the predicates bit by bit.
+func TestSuiteClassBitsMatchPredicates(t *testing.T) {
+	for _, s := range AllSuites() {
+		got := SuiteClassBits(s.ID)
+		for _, cp := range classPredicates {
+			if got.Has(cp.bit) != cp.pred(s) {
+				t.Errorf("%s: class %s bit = %v, predicate = %v",
+					s.Name, cp.name, got.Has(cp.bit), cp.pred(s))
+			}
+		}
+	}
+}
+
+func TestSuiteClassBitsUnknownAndGREASE(t *testing.T) {
+	if got := SuiteClassBits(0x0a0a); got != 0 {
+		t.Errorf("GREASE code point has class bits %b", got)
+	}
+	if got := SuiteClassBits(0xfffe); got != 0 {
+		t.Errorf("unregistered code point has class bits %b", got)
+	}
+}
+
+// randomSuiteList mixes registered suites, GREASE values and unknown code
+// points, the way real advertised lists do.
+func randomSuiteList(rnd *rand.Rand, all []Suite) []uint16 {
+	n := rnd.Intn(40)
+	out := make([]uint16, 0, n)
+	for i := 0; i < n; i++ {
+		switch rnd.Intn(10) {
+		case 0:
+			out = append(out, GREASEValues()[rnd.Intn(16)])
+		case 1:
+			out = append(out, uint16(0xf000+rnd.Intn(0x100))) // unregistered
+		default:
+			out = append(out, all[rnd.Intn(len(all))].ID)
+		}
+	}
+	return out
+}
+
+// ScanSuites over random lists must agree with ListHas and FirstIndexWhere
+// for every class.
+func TestScanSuitesEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	all := AllSuites()
+	for trial := 0; trial < 500; trial++ {
+		ids := randomSuiteList(rnd, all)
+		scan := ScanSuites(ids)
+		for _, cp := range classPredicates {
+			if got, want := scan.Bits.Has(cp.bit), ListHas(ids, cp.pred); got != want {
+				t.Fatalf("trial %d class %s: Bits.Has = %v, ListHas = %v (ids %04x)",
+					trial, cp.name, got, want, ids)
+			}
+			if got, want := scan.FirstIndex(cp.bit), FirstIndexWhere(ids, cp.pred); got != want {
+				t.Fatalf("trial %d class %s: FirstIndex = %d, FirstIndexWhere = %d (ids %04x)",
+					trial, cp.name, got, want, ids)
+			}
+		}
+	}
+}
+
+// Allocation-regression guards for the aggregation hot path.
+
+func TestStripGREASE16FastPathAllocs(t *testing.T) {
+	list := []uint16{0x1301, 0xc02f, 0x009c, 0x002f, 0x000a}
+	if got := testing.AllocsPerRun(200, func() {
+		_ = StripGREASE16(list)
+	}); got != 0 {
+		t.Errorf("StripGREASE16 without GREASE: %v allocs/run, want 0", got)
+	}
+}
+
+func TestScanSuitesAllocs(t *testing.T) {
+	list := []uint16{0x1a1a, 0x1301, 0xc02f, 0x009c, 0x002f, 0x000a, 0xcca8}
+	ScanSuites(list) // build the table outside the measured runs
+	if got := testing.AllocsPerRun(200, func() {
+		_ = ScanSuites(list)
+	}); got > 1 {
+		t.Errorf("ScanSuites: %v allocs/run, want ≤ 1", got)
+	}
+}

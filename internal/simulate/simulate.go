@@ -9,11 +9,19 @@
 // on a failed handshake a fallback-capable client retries with progressively
 // lower versions, marking retries with TLS_FALLBACK_SCSV when it supports
 // RFC 7507.
+//
+// The study window is sharded by month across a worker pool: every month
+// draws from its own RNG stream derived from the seed, so the dataset is
+// identical for every worker count — including the sequential path — and
+// shards can be simulated concurrently and merged.
 package simulate
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlsage/internal/clientdb"
@@ -42,6 +50,11 @@ type Options struct {
 	// (the Notary gained them in February 2014, §4.0.1). Records before it
 	// carry no fingerprint.
 	FingerprintFrom timeline.Month
+	// Workers bounds how many months are simulated concurrently. 0 means
+	// GOMAXPROCS; 1 forces the sequential path. The generated dataset is
+	// identical for every value: each month has its own seed-derived RNG
+	// stream regardless of which worker runs it.
+	Workers int
 }
 
 // DefaultOptions returns the study configuration at the given sampling rate.
@@ -87,31 +100,192 @@ func New(opts Options) *Simulator {
 // Options returns the effective options.
 func (s *Simulator) Options() Options { return s.opts }
 
-// Run generates the dataset, invoking sink for every record in
-// chronological-month order.
-func (s *Simulator) Run(sink func(*notary.Record)) error {
-	rnd := rand.New(rand.NewSource(s.opts.Seed))
-	for _, m := range timeline.MonthsBetween(s.opts.Start, s.opts.End) {
-		for i := 0; i < s.opts.ConnectionsPerMonth; i++ {
-			rec, err := s.connection(m, rnd)
-			if err != nil {
-				return err
-			}
-			sink(rec)
+// workerCount resolves Options.Workers against the month count.
+func (s *Simulator) workerCount(months int) int {
+	w := s.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > months {
+		w = months
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to spread correlated
+// (seed, month) pairs into independent RNG stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// monthRNG returns month m's dedicated RNG stream. Every month draws from
+// its own stream, so the records of a month do not depend on which worker —
+// or how many — simulated the months before it.
+func (s *Simulator) monthRNG(m timeline.Month) *rand.Rand {
+	seed := splitmix64(uint64(s.opts.Seed)) ^ splitmix64(uint64(m.Index()))
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// scratch is the per-worker reusable state: wire encode buffers and the
+// randomizer shuffle buffer, reused across every connection the worker
+// simulates. A scratch must not be shared between goroutines.
+type scratch struct {
+	enc    wire.HelloEncoder
+	raw    []byte
+	suites []uint16
+}
+
+// runMonth simulates one month's connections in order, invoking sink for
+// each record.
+func (s *Simulator) runMonth(m timeline.Month, sc *scratch, sink func(*notary.Record)) error {
+	rnd := s.monthRNG(m)
+	for i := 0; i < s.opts.ConnectionsPerMonth; i++ {
+		rec, err := s.connection(m, rnd, sc)
+		if err != nil {
+			return err
 		}
+		sink(rec)
 	}
 	return nil
 }
 
-// RunAggregate runs the simulation into a fresh aggregator.
+// Run generates the dataset, invoking sink for every record in
+// chronological-month order. With Workers > 1 months are simulated
+// concurrently and delivered to the sink in order; the sink itself is always
+// called from a single goroutine.
+func (s *Simulator) Run(sink func(*notary.Record)) error {
+	months := timeline.MonthsBetween(s.opts.Start, s.opts.End)
+	workers := s.workerCount(len(months))
+	if workers <= 1 {
+		var sc scratch
+		for _, m := range months {
+			if err := s.runMonth(m, &sc, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type monthOut struct {
+		recs []*notary.Record
+		err  error
+	}
+	outs := make([]chan monthOut, len(months))
+	for i := range outs {
+		outs[i] = make(chan monthOut, 1)
+	}
+	jobs := make(chan int)
+	// sem bounds the months buffered ahead of the sink so a slow sink does
+	// not force the whole dataset into memory.
+	sem := make(chan struct{}, 2*workers)
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc scratch
+			for idx := range jobs {
+				if aborted.Load() {
+					outs[idx] <- monthOut{}
+					continue
+				}
+				recs := make([]*notary.Record, 0, s.opts.ConnectionsPerMonth)
+				err := s.runMonth(months[idx], &sc, func(r *notary.Record) {
+					recs = append(recs, r)
+				})
+				if err != nil {
+					aborted.Store(true)
+				}
+				outs[idx] <- monthOut{recs: recs, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range months {
+			sem <- struct{}{}
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+
+	var firstErr error
+	for i := range months {
+		out := <-outs[i]
+		if out.err != nil && firstErr == nil {
+			firstErr = out.err
+		}
+		if firstErr == nil {
+			for _, rec := range out.recs {
+				sink(rec)
+			}
+		}
+		<-sem
+	}
+	return firstErr
+}
+
+// RunAggregate runs the simulation into a fresh aggregator. With Workers > 1
+// each worker accumulates its months into a private notary.Aggregate and the
+// shards are merged; the result is identical to the sequential path.
 func (s *Simulator) RunAggregate() (*notary.Aggregate, error) {
+	months := timeline.MonthsBetween(s.opts.Start, s.opts.End)
+	workers := s.workerCount(len(months))
+	if workers <= 1 {
+		agg := notary.NewAggregate()
+		if err := s.Run(agg.Add); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+
+	aggs := make([]*notary.Aggregate, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			agg := notary.NewAggregate()
+			aggs[w] = agg
+			var sc scratch
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(months) || aborted.Load() {
+					return
+				}
+				if err := s.runMonth(months[idx], &sc, agg.Add); err != nil {
+					errs[w] = err
+					aborted.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	agg := notary.NewAggregate()
-	err := s.Run(func(r *notary.Record) { agg.Add(r) })
-	return agg, err
+	for _, shard := range aggs {
+		agg.Merge(shard)
+	}
+	return agg, nil
 }
 
 // connection simulates one observed connection in month m.
-func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand) (*notary.Record, error) {
+func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand, sc *scratch) (*notary.Record, error) {
 	date := timeline.Date{Year: m.Year, Month: m.M, Day: 1 + rnd.Intn(28)}
 	profile, relIdx := s.Clients.Sample(date, rnd)
 	rel := profile.Releases[relIdx]
@@ -131,7 +305,7 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand) (*notary.Record
 		return s.sslv2Connection(rec, &cfg, serverCfg, rnd)
 	}
 
-	hello, err := s.buildHello(&cfg, profile.Name, rnd, false)
+	hello, err := s.buildHello(&cfg, profile.Name, rnd, sc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +323,7 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand) (*notary.Record
 			fb := cfg
 			fb.LegacyVersion = v
 			fb.SupportedVersions = nil
-			retryHello, err := s.buildHello(&fb, profile.Name, rnd, true)
+			retryHello, err := s.buildHello(&fb, profile.Name, rnd, sc, true)
 			if err != nil {
 				return nil, err
 			}
@@ -170,29 +344,45 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand) (*notary.Record
 }
 
 // fallbackVersions lists the retry versions a fallback-capable client walks
-// through, highest first.
+// through, highest first. The slice is exactly sized up front — it is
+// allocated on every failed handshake of a fallback-capable client.
 func fallbackVersions(cfg *clientdb.Config) []registry.Version {
-	var out []registry.Version
 	max := cfg.LegacyVersion
 	if max > registry.VersionTLS12 {
 		max = registry.VersionTLS12
 	}
+	n := 0
+	if max >= registry.VersionTLS10 {
+		n = int(max-registry.VersionTLS10) + 1
+	}
+	ssl3 := cfg.SSL3Fallback && cfg.MinVersion <= registry.VersionSSL3
+	if ssl3 {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]registry.Version, 0, n)
 	for v := max; v >= registry.VersionTLS10; v -= 1 {
 		out = append(out, v)
 	}
-	if cfg.SSL3Fallback && cfg.MinVersion <= registry.VersionSSL3 {
+	if ssl3 {
 		out = append(out, registry.VersionSSL3)
 	}
 	return out
 }
 
-// buildHello constructs (and optionally wire-round-trips) a hello.
-func (s *Simulator) buildHello(cfg *clientdb.Config, profileName string, rnd *rand.Rand, fallback bool) (*wire.ClientHello, error) {
+// buildHello constructs (and optionally wire-round-trips) a hello, reusing
+// sc's buffers for the shuffle copy and the encoded bytes.
+func (s *Simulator) buildHello(cfg *clientdb.Config, profileName string, rnd *rand.Rand, sc *scratch, fallback bool) (*wire.ClientHello, error) {
 	working := cfg
 	if profileName == clientdb.RandomizerProfileName {
 		// The §4.1 randomizer: a fresh cipher order every connection.
+		// BuildHello copies the list it is given, so the shuffle buffer can
+		// be reused across connections.
 		shuffled := *cfg
-		shuffled.Suites = append([]uint16(nil), cfg.Suites...)
+		shuffled.Suites = append(sc.suites[:0], cfg.Suites...)
+		sc.suites = shuffled.Suites
 		rnd.Shuffle(len(shuffled.Suites), func(i, j int) {
 			shuffled.Suites[i], shuffled.Suites[j] = shuffled.Suites[j], shuffled.Suites[i]
 		})
@@ -202,10 +392,11 @@ func (s *Simulator) buildHello(cfg *clientdb.Config, profileName string, rnd *ra
 	if !s.opts.WireLevel {
 		return hello, nil
 	}
-	raw, err := hello.AppendRecord(nil)
+	raw, err := sc.enc.AppendRecord(hello, sc.raw[:0])
 	if err != nil {
 		return nil, fmt.Errorf("simulate: encoding hello for %s: %w", profileName, err)
 	}
+	sc.raw = raw
 	recBytes, _, err := wire.DecodeRecord(raw)
 	if err != nil {
 		return nil, err
@@ -214,6 +405,8 @@ func (s *Simulator) buildHello(cfg *clientdb.Config, profileName string, rnd *ra
 	if err != nil {
 		return nil, err
 	}
+	// The parsed hello copies everything out of the scratch buffer, so the
+	// buffer is free for the next connection.
 	var parsed wire.ClientHello
 	if err := parsed.DecodeFromBytes(body); err != nil {
 		return nil, fmt.Errorf("simulate: reparsing hello for %s: %w", profileName, err)

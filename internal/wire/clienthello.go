@@ -80,14 +80,33 @@ func (ch *ClientHello) DecodeFromBytes(data []byte) error {
 // AppendRecord serializes the full on-the-wire form: handshake header plus
 // record header, appended to dst.
 func (ch *ClientHello) AppendRecord(dst []byte) ([]byte, error) {
-	body, err := ch.MarshalBinary()
+	var e HelloEncoder
+	return e.AppendRecord(ch, dst)
+}
+
+// HelloEncoder serializes hellos through reusable scratch buffers, so a loop
+// encoding many hellos (the simulator's wire round-trip does one per
+// connection) pays for the intermediate handshake framing buffers once
+// instead of on every message. The zero value is ready to use. An encoder
+// must not be shared between goroutines. The bytes appended to dst are
+// copies and stay valid across later calls.
+type HelloEncoder struct {
+	body, msg []byte
+}
+
+// AppendRecord appends ch's full on-the-wire form to dst — identical bytes
+// to (*ClientHello).AppendRecord — reusing the encoder's internal buffers.
+func (e *HelloEncoder) AppendRecord(ch *ClientHello, dst []byte) ([]byte, error) {
+	body, err := ch.Append(e.body[:0])
 	if err != nil {
 		return dst, err
 	}
-	msg, err := AppendHandshake(nil, TypeClientHello, body)
+	e.body = body
+	msg, err := AppendHandshake(e.msg[:0], TypeClientHello, body)
 	if err != nil {
 		return dst, err
 	}
+	e.msg = msg
 	// The record-layer version of a ClientHello is conventionally TLS 1.0
 	// for maximum middlebox tolerance when the hello itself is ≥ TLS 1.0.
 	recVer := ch.Version
