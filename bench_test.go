@@ -9,6 +9,7 @@
 package tlsage
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"math/rand"
@@ -431,24 +432,97 @@ func BenchmarkAblationAggPostHoc(b *testing.B) {
 		done := make(chan error, 1)
 		go func() {
 			lw := notary.NewLogWriter(pw)
-			err := simulate.New(opts).Run(func(r *notary.Record) { _ = lw.Write(r) })
+			err := simulate.New(opts).Run(lw)
 			if err == nil {
-				err = lw.Flush()
+				err = lw.Close()
 			}
 			pw.CloseWithError(err)
 			done <- err
 		}()
 		agg := notary.NewAggregate()
-		if err := notary.ReadLog(pr, func(r notary.Record) error {
-			agg.Add(&r)
-			return nil
-		}); err != nil {
+		if err := notary.ReadLog(pr, agg); err != nil {
 			b.Fatal(err)
 		}
 		if err := <-done; err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Sharded log ingestion (the post-hoc Notary workload) ---
+
+var (
+	logOnce  sync.Once
+	logBytes []byte
+)
+
+// benchLog renders a study-shaped TSV log once per process (~55k records).
+func benchLog(b *testing.B) []byte {
+	b.Helper()
+	logOnce.Do(func() {
+		var buf bytes.Buffer
+		lw := notary.NewLogWriter(&buf)
+		if err := simulate.New(simulate.DefaultOptions(750)).Run(lw); err != nil {
+			panic(err)
+		}
+		if err := lw.Close(); err != nil {
+			panic(err)
+		}
+		logBytes = buf.Bytes()
+	})
+	return logBytes
+}
+
+func BenchmarkLoadLogSerial(b *testing.B) {
+	log := benchLog(b)
+	b.SetBytes(int64(len(log)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := notary.NewAggregate()
+		if err := notary.ReadLog(bytes.NewReader(log), agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLoadLogParallel(b *testing.B, workers int) {
+	log := benchLog(b)
+	b.SetBytes(int64(len(log)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := notary.ReadLogParallel(bytes.NewReader(log), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadLogParallel2(b *testing.B) { benchLoadLogParallel(b, 2) }
+func BenchmarkLoadLogParallel4(b *testing.B) { benchLoadLogParallel(b, 4) }
+func BenchmarkLoadLogParallel8(b *testing.B) { benchLoadLogParallel(b, 8) }
+
+// Ablation 6: sharded log ingestion vs the serial scanner, reporting the
+// wall-clock of both paths and their ratio (compare with the simulation
+// speedup of Ablation 5 — LoadLog should now scale the same way).
+func BenchmarkAblationLoadLogSpeedup(b *testing.B) {
+	log := benchLog(b)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		agg := notary.NewAggregate()
+		if err := notary.ReadLog(bytes.NewReader(log), agg); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(start)
+		start = time.Now()
+		if _, err := notary.ReadLogParallel(bytes.NewReader(log), 8); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(start)
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial_s/op")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel8_s/op")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_8workers")
 }
 
 // sampleFarmConfigs draws deterministic host configs for the worker ablation.

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
+//	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
 //	tlstrend figure     [-n N] [-conns N] [-chart]             print one figure (1–10) as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
 //	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
@@ -40,6 +41,8 @@ func main() {
 	switch cmd {
 	case "simulate":
 		err = cmdSimulate(args)
+	case "loadlog":
+		err = cmdLoadLog(args)
 	case "figure":
 		err = cmdFigure(args)
 	case "figures":
@@ -76,6 +79,7 @@ func usage() {
 
 commands:
   simulate      run the passive Notary study (optionally write a TSV log)
+  loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
   figure        print one figure (1–10) as a table or ASCII chart
   figures       print every figure
   table         print Table 1, 3, 4, 5 or 6
@@ -133,6 +137,49 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	return analysis.RenderScalars(os.Stdout, "Passive study scalars (paper vs measured)", scalars)
+}
+
+func cmdLoadLog(args []string) error {
+	fs := flag.NewFlagSet("loadlog", flag.ExitOnError)
+	in := fs.String("in", "notary_conn.log", "TSV connection log to analyze")
+	workers := fs.Int("workers", 0, "parse workers (0 = all cores, 1 = serial)")
+	figure := fs.Int("figure", 0, "also print figure N (1–10)")
+	chart := fs.Bool("chart", false, "render the figure as an ASCII chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var s core.Study
+	s.Options.Workers = *workers
+	start := time.Now()
+	if err := s.LoadLog(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d records from %s in %v\n",
+		s.Aggregate().TotalRecords(), *in, time.Since(start).Round(time.Millisecond))
+	if *figure > 0 {
+		fig, err := s.Figure(*figure)
+		if err != nil {
+			return err
+		}
+		if *chart {
+			if err := fig.RenderChart(os.Stdout, 100, 20); err != nil {
+				return err
+			}
+		} else if err := fig.RenderTable(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	scalars, err := s.Scalars()
+	if err != nil {
+		return err
+	}
+	return analysis.RenderScalars(os.Stdout, "Post-hoc log analysis (paper vs measured)", scalars)
 }
 
 func cmdFigure(args []string) error {

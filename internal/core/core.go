@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"tlsage/internal/analysis"
@@ -28,6 +30,7 @@ import (
 	"tlsage/internal/serverfarm"
 	"tlsage/internal/simulate"
 	"tlsage/internal/timeline"
+	"tlsage/internal/wire"
 )
 
 // Study orchestrates the passive measurement.
@@ -46,25 +49,37 @@ func NewStudy(connsPerMonth int) *Study {
 
 // Run executes the simulation and aggregation. When logWriter is non-nil
 // every connection record is additionally streamed to it as a Bro-style TSV
-// log.
+// log. Extra sinks (network forwarders, extra indices, ...) can be teed in
+// with RunSinks.
 func (s *Study) Run(logWriter io.Writer) error {
+	return s.RunSinks(logWriter)
+}
+
+// RunSinks is Run with additional record consumers: every simulated record
+// is delivered to the study's aggregate, the optional TSV log, and each
+// extra sink (in that order). The extra sinks are closed on success —
+// that is the attachment point for long-running consumers.
+func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	sim := simulate.New(s.Options)
 	agg := notary.NewAggregate()
+	sinks := make([]notary.Sink, 0, 2+len(extra))
+	sinks = append(sinks, agg)
 	var lw *notary.LogWriter
 	if logWriter != nil {
 		lw = notary.NewLogWriter(logWriter)
+		sinks = append(sinks, lw)
 	}
-	err := sim.Run(func(r *notary.Record) {
-		agg.Add(r)
-		if lw != nil {
-			_ = lw.Write(r)
-		}
-	})
-	if err != nil {
+	sinks = append(sinks, extra...)
+	if err := sim.Run(notary.Tee(sinks...)); err != nil {
 		return err
 	}
 	if lw != nil {
-		if err := lw.Flush(); err != nil {
+		if err := lw.Close(); err != nil {
+			return err
+		}
+	}
+	for _, e := range extra {
+		if err := e.Close(); err != nil {
 			return err
 		}
 	}
@@ -74,13 +89,11 @@ func (s *Study) Run(logWriter io.Writer) error {
 }
 
 // LoadLog rebuilds a study from a previously written TSV log instead of
-// re-simulating — the post-hoc analysis path.
+// re-simulating — the post-hoc analysis path. The TSV stream is sharded on
+// line boundaries across Options.Workers parse workers (0 = all cores) and
+// the per-shard aggregates are merged, so loading scales like Run does.
 func (s *Study) LoadLog(r io.Reader) error {
-	agg := notary.NewAggregate()
-	err := notary.ReadLog(r, func(rec notary.Record) error {
-		agg.Add(&rec)
-		return nil
-	})
+	agg, err := notary.ReadLogParallel(r, s.Options.Workers)
 	if err != nil {
 		return err
 	}
@@ -324,13 +337,44 @@ func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
 	}
 	sc := scanner.New(c.Workers)
 	sc.Timeout = c.Timeout
-	for _, probe := range scanner.AllProbes() {
-		hello := probe.Build(rnd)
-		results, err := sc.Scan(ctx, farm.Addrs(), hello)
+	// Probes are independent against the farm, so they run concurrently on a
+	// bounded pool. Hellos are pre-built serially from the shared RNG so the
+	// draw sequence — and with it the report — stays deterministic; the
+	// summaries land in per-probe slots, so completion order cannot reorder
+	// the report either.
+	probes := scanner.AllProbes()
+	hellos := make([]*wire.ClientHello, len(probes))
+	for i, probe := range probes {
+		hellos[i] = probe.Build(rnd)
+	}
+	probeWorkers := runtime.GOMAXPROCS(0)
+	if probeWorkers > len(probes) {
+		probeWorkers = len(probes)
+	}
+	summaries := make([]scanner.Summary, len(probes))
+	probeErrs := make([]error, len(probes))
+	sem := make(chan struct{}, probeWorkers)
+	var wg sync.WaitGroup
+	for i := range probes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results, err := sc.Scan(ctx, farm.Addrs(), hellos[i])
+			if err != nil {
+				probeErrs[i] = fmt.Errorf("core: probe %s: %w", probes[i].Name, err)
+				return
+			}
+			summaries[i] = scanner.Summarize(results)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range probeErrs {
 		if err != nil {
-			return nil, fmt.Errorf("core: probe %s: %w", probe.Name, err)
+			return nil, err
 		}
-		report.Probes[probe.Name] = scanner.Summarize(results)
+		report.Probes[probes[i].Name] = summaries[i]
 	}
 
 	// The live Heartbleed exploit check (§5.4).

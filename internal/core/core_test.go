@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tlsage/internal/notary"
 	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
@@ -98,6 +99,47 @@ func TestStudyLogRoundTrip(t *testing.T) {
 	a, b := s.Aggregate().Stats(m), s2.Aggregate().Stats(m)
 	if a.Total != b.Total || a.Established != b.Established || a.AdvRC4 != b.AdvRC4 {
 		t.Error("reloaded aggregate differs")
+	}
+}
+
+// LoadLog shards the TSV parse across Options.Workers; every width must
+// rebuild the identical aggregate, and extra sinks teed into the run must
+// see every record.
+func TestStudyLoadLogParallelAndSinks(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStudy(40)
+	s.Options.End = timeline.M(2013, time.June)
+	seen := 0
+	counter := notary.SinkFunc(func(r *notary.Record) error {
+		if r.Date.Year == 0 {
+			t.Error("sink saw an empty record")
+		}
+		seen++
+		return nil
+	})
+	if err := s.RunSinks(&buf, counter); err != nil {
+		t.Fatal(err)
+	}
+	direct := s.Aggregate().TotalRecords()
+	if seen != direct {
+		t.Errorf("teed sink saw %d records, aggregate has %d", seen, direct)
+	}
+
+	log := buf.Bytes()
+	for _, workers := range []int{1, 2, 8} {
+		var s2 Study
+		s2.Options.Workers = workers
+		if err := s2.LoadLog(bytes.NewReader(log)); err != nil {
+			t.Fatal(err)
+		}
+		if got := s2.Aggregate().TotalRecords(); got != direct {
+			t.Errorf("workers=%d: %d records, want %d", workers, got, direct)
+		}
+		m := timeline.M(2012, time.August)
+		a, b := s.Aggregate().Stats(m), s2.Aggregate().Stats(m)
+		if b == nil || a.Total != b.Total || a.Established != b.Established || a.AdvRC4 != b.AdvRC4 {
+			t.Errorf("workers=%d: reloaded aggregate differs", workers)
+		}
 	}
 }
 

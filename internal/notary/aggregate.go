@@ -110,6 +110,17 @@ func NewAggregate() *Aggregate {
 	}
 }
 
+// Observe ingests one record, making *Aggregate a Sink. Add copies
+// everything it keeps (counters, strings, dates — never slices), so pooled
+// records may be reclaimed as soon as the call returns.
+func (a *Aggregate) Observe(r *Record) error {
+	a.Add(r)
+	return nil
+}
+
+// Close is a no-op: an aggregate buffers nothing.
+func (a *Aggregate) Close() error { return nil }
+
 // Add ingests one record.
 func (a *Aggregate) Add(r *Record) {
 	m := timeline.MonthOf(r.Date)

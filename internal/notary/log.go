@@ -2,14 +2,20 @@ package notary
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
-// LogWriter streams records to a Bro-style TSV log.
+// LogWriter streams records to a Bro-style TSV log. It implements Sink:
+// Observe appends one line, Close flushes. The line buffer is reused across
+// records, so writing is allocation-free in steady state.
 type LogWriter struct {
 	w       *bufio.Writer
+	buf     []byte
 	wroteHd bool
 	n       int64
 }
@@ -27,13 +33,19 @@ func (lw *LogWriter) Write(r *Record) error {
 		}
 		lw.wroteHd = true
 	}
-	line := r.AppendTSV(nil)
-	if _, err := lw.w.Write(line); err != nil {
+	lw.buf = r.AppendTSV(lw.buf[:0])
+	if _, err := lw.w.Write(lw.buf); err != nil {
 		return err
 	}
 	lw.n++
 	return nil
 }
+
+// Observe implements Sink.
+func (lw *LogWriter) Observe(r *Record) error { return lw.Write(r) }
+
+// Close implements Sink by flushing the underlying buffer.
+func (lw *LogWriter) Close() error { return lw.Flush() }
 
 // Count reports how many records have been written.
 func (lw *LogWriter) Count() int64 { return lw.n }
@@ -41,25 +53,201 @@ func (lw *LogWriter) Count() int64 { return lw.n }
 // Flush flushes the underlying buffer.
 func (lw *LogWriter) Flush() error { return lw.w.Flush() }
 
-// ReadLog parses a log written by LogWriter, invoking fn per record.
-// Comment lines (#...) are skipped. Parsing stops at the first error.
-func ReadLog(r io.Reader, fn func(Record) error) error {
+// consumeLine applies the shared per-line semantics of both log readers:
+// blank and comment (#...) lines are skipped, anything else is parsed into
+// rec with the error tagged by its 1-based line number. It reports whether
+// rec now holds a record.
+func consumeLine(rec *Record, line string, lineNo int) (bool, error) {
+	if line == "" || line[0] == '#' {
+		return false, nil
+	}
+	if err := ParseTSVInto(rec, line); err != nil {
+		return false, fmt.Errorf("notary: line %d: %w", lineNo, err)
+	}
+	return true, nil
+}
+
+// ReadLog parses a log written by LogWriter, delivering each record to
+// sink. Comment lines (#...) are skipped. Parsing stops at the first error.
+// Records are parsed into a reused buffer, so the Sink contract applies:
+// the record is only valid for the duration of Observe. The sink is not
+// closed.
+func ReadLog(r io.Reader, sink Sink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var rec Record
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
+		ok, err := consumeLine(&rec, sc.Text(), lineNo)
+		if err != nil {
+			return err
+		}
+		if !ok {
 			continue
 		}
-		rec, err := ParseTSV(line)
-		if err != nil {
-			return fmt.Errorf("notary: line %d: %w", lineNo, err)
-		}
-		if err := fn(rec); err != nil {
+		if err := sink.Observe(&rec); err != nil {
 			return err
 		}
 	}
 	return sc.Err()
+}
+
+// defaultChunkSize is the byte granularity of sharded log ingestion: big
+// enough to amortize dispatch, small enough to keep every worker busy on
+// month-scale logs.
+const defaultChunkSize = 1 << 20
+
+// ReadLogParallel parses a log written by LogWriter on a pool of workers
+// and returns the merged Aggregate. The byte stream is split on line
+// boundaries into chunks, each chunk is parsed into a per-shard Aggregate,
+// and the shards are combined with Aggregate.Merge — so the result is
+// identical to feeding serial ReadLog into one Aggregate, for every worker
+// count. workers <= 0 uses GOMAXPROCS; workers == 1 is the serial path.
+// A malformed line produces the same "notary: line N" error the serial
+// reader reports, and the earliest such line wins. One divergence: the
+// chunked reader has no line-length ceiling, while the serial scanner
+// rejects lines over 4 MiB (far beyond anything LogWriter emits).
+func ReadLogParallel(r io.Reader, workers int) (*Aggregate, error) {
+	return readLogParallel(r, workers, defaultChunkSize)
+}
+
+// readLogParallel is ReadLogParallel with the chunk size exposed, so tests
+// can sweep chunk boundaries across every record offset.
+func readLogParallel(r io.Reader, workers, chunkSize int) (*Aggregate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		agg := NewAggregate()
+		if err := ReadLog(r, agg); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+
+	type chunk struct {
+		data      []byte
+		firstLine int // 1-based global line number of the chunk's first line
+	}
+	type shardErr struct {
+		line int
+		err  error
+	}
+
+	bufPool := sync.Pool{New: func() any {
+		b := make([]byte, 0, chunkSize+4096)
+		return &b
+	}}
+	jobs := make(chan chunk, workers)
+	aggs := make([]*Aggregate, workers)
+	errs := make([]shardErr, workers)
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			agg := NewAggregate()
+			aggs[w] = agg
+			var rec Record
+			for c := range jobs {
+				// A worker keeps only its first error: its chunks arrive in
+				// file order, so later ones cannot lower the error line. Other
+				// workers still parse their dispatched chunks in full — the
+				// dispatched chunks are a prefix of the file, so the minimum
+				// error line across shards is exactly the line serial ReadLog
+				// would have stopped at.
+				if errs[w].err != nil {
+					continue
+				}
+				lineNo := c.firstLine
+				rest := c.data
+				for len(rest) > 0 {
+					var line []byte
+					if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+						line, rest = rest[:i], rest[i+1:]
+					} else {
+						line, rest = rest, nil
+					}
+					// bufio.ScanLines strips a trailing \r; match it.
+					if len(line) > 0 && line[len(line)-1] == '\r' {
+						line = line[:len(line)-1]
+					}
+					ok, err := consumeLine(&rec, string(line), lineNo)
+					if err != nil {
+						errs[w] = shardErr{line: lineNo, err: err}
+						aborted.Store(true)
+						break
+					}
+					if ok {
+						agg.Add(&rec)
+					}
+					lineNo++
+				}
+				data := c.data[:0]
+				bufPool.Put(&data)
+			}
+		}(w)
+	}
+
+	// Chunker: read fixed-size blocks, cut at the last newline, and carry
+	// the trailing partial line into the next chunk.
+	var readErr error
+	block := make([]byte, chunkSize)
+	var carry []byte
+	nextLine := 1
+	dispatch := func(data []byte, firstLine int) {
+		jobs <- chunk{data: data, firstLine: firstLine}
+	}
+	for !aborted.Load() {
+		n, err := io.ReadFull(r, block)
+		if n > 0 {
+			data := block[:n]
+			cut := bytes.LastIndexByte(data, '\n')
+			if cut < 0 {
+				carry = append(carry, data...)
+			} else {
+				bp := bufPool.Get().(*[]byte)
+				buf := append((*bp)[:0], carry...)
+				buf = append(buf, data[:cut+1]...)
+				carry = append(carry[:0], data[cut+1:]...)
+				first := nextLine
+				nextLine += bytes.Count(buf, []byte{'\n'})
+				dispatch(buf, first)
+			}
+		}
+		if err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				readErr = err
+			}
+			break
+		}
+	}
+	if readErr == nil && len(carry) > 0 && !aborted.Load() {
+		dispatch(carry, nextLine)
+	}
+	close(jobs)
+	wg.Wait()
+
+	if readErr != nil {
+		return nil, readErr
+	}
+	first := shardErr{}
+	for _, se := range errs {
+		if se.err != nil && (first.err == nil || se.line < first.line) {
+			first = se
+		}
+	}
+	if first.err != nil {
+		return nil, first.err
+	}
+	agg := NewAggregate()
+	for _, shard := range aggs {
+		agg.Merge(shard)
+	}
+	return agg, nil
 }

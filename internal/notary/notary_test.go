@@ -271,10 +271,10 @@ func TestLogWriterReader(t *testing.T) {
 		t.Errorf("count = %d", lw.Count())
 	}
 	var got []Record
-	err := ReadLog(&buf, func(r Record) error {
-		got = append(got, r)
+	err := ReadLog(&buf, SinkFunc(func(r *Record) error {
+		got = append(got, *r.Clone())
 		return nil
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestLogWriterReader(t *testing.T) {
 
 func TestReadLogBadLine(t *testing.T) {
 	in := bytes.NewBufferString(Header() + "garbage line\n")
-	err := ReadLog(in, func(Record) error { return nil })
+	err := ReadLog(in, SinkFunc(func(*Record) error { return nil }))
 	if err == nil {
 		t.Error("garbage line accepted")
 	}

@@ -1,0 +1,212 @@
+package notary
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// buildCorpus writes n random records through a LogWriter and returns the
+// log bytes plus the serial-reference aggregate.
+func buildCorpus(t testing.TB, seed int64, n int) ([]byte, *Aggregate) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	all := registry.AllSuites()
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	want := NewAggregate()
+	for i := 0; i < n; i++ {
+		r := randomRecord(rnd, all)
+		want.Add(r)
+		if err := lw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+// aggregatesEqual compares two aggregates the way the merge property test
+// does: PosSum within epsilon (float addition across shards is not
+// associative), everything else exactly.
+func aggregatesEqual(t *testing.T, want, got *Aggregate) {
+	t.Helper()
+	for _, m := range want.Months() {
+		wms, gms := want.Stats(m), got.Stats(m)
+		if gms == nil {
+			t.Fatalf("month %v missing from parallel aggregate", m)
+		}
+		if len(wms.PosSum) != len(gms.PosSum) {
+			t.Fatalf("month %v PosSum keys differ", m)
+		}
+		for class, wsum := range wms.PosSum {
+			if diff := wsum - gms.PosSum[class]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("month %v PosSum[%s] off by %g", m, class, diff)
+			}
+		}
+		gms.PosSum = wms.PosSum
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("parallel aggregate differs from serial ReadLog")
+	}
+}
+
+// ReadLogParallel must equal serial ReadLog for every worker count and for
+// chunk sizes that sweep the cut across every interesting boundary — mid
+// line, exactly on a newline, bigger than the whole log.
+func TestReadLogParallelMatchesSerial(t *testing.T) {
+	log, want := buildCorpus(t, 3, 700)
+
+	for _, workers := range []int{0, 2, 3, 8, 64} {
+		got, err := ReadLogParallel(bytes.NewReader(log), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggregatesEqual(t, want, got)
+	}
+
+	rnd := rand.New(rand.NewSource(5))
+	chunkSizes := []int{1, 2, 3, 63, 64, 100, len(log) / 3, len(log) - 1, len(log), len(log) + 100}
+	for i := 0; i < 20; i++ {
+		chunkSizes = append(chunkSizes, 1+rnd.Intn(2000))
+	}
+	for _, cs := range chunkSizes {
+		got, err := readLogParallel(bytes.NewReader(log), 4, cs)
+		if err != nil {
+			t.Fatalf("chunkSize=%d: %v", cs, err)
+		}
+		aggregatesEqual(t, want, got)
+	}
+}
+
+// A log without a trailing newline must still deliver its last record.
+func TestReadLogParallelNoTrailingNewline(t *testing.T) {
+	log, want := buildCorpus(t, 11, 40)
+	trimmed := bytes.TrimSuffix(log, []byte("\n"))
+	got, err := readLogParallel(bytes.NewReader(trimmed), 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregatesEqual(t, want, got)
+}
+
+// A malformed line must produce the identical "notary: line N" error the
+// serial reader reports, for every worker count and chunk size — including
+// when several lines are malformed (the earliest wins, as serial stops
+// there).
+func TestReadLogParallelErrorParity(t *testing.T) {
+	log, _ := buildCorpus(t, 7, 300)
+	corrupt := func(lines [][]byte, at int) []byte {
+		cp := make([][]byte, len(lines))
+		copy(cp, lines)
+		cp[at] = []byte("garbage\tline")
+		return bytes.Join(cp, []byte("\n"))
+	}
+	lines := bytes.Split(bytes.TrimSuffix(log, []byte("\n")), []byte("\n"))
+	for _, at := range []int{3, 50, len(lines) / 2, len(lines) - 1} {
+		bad := corrupt(lines, at)
+		serialErr := ReadLog(bytes.NewReader(bad), NewAggregate())
+		if serialErr == nil {
+			t.Fatalf("corrupt@%d: serial reader accepted the line", at)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			for _, cs := range []int{7, 100, 1 << 12, 1 << 22} {
+				agg, err := readLogParallel(bytes.NewReader(bad), workers, cs)
+				if err == nil {
+					t.Fatalf("corrupt@%d workers=%d chunk=%d: parallel reader accepted the line", at, workers, cs)
+				}
+				if agg != nil {
+					t.Errorf("corrupt@%d: non-nil aggregate alongside error", at)
+				}
+				if err.Error() != serialErr.Error() {
+					t.Fatalf("corrupt@%d workers=%d chunk=%d: error %q, serial %q", at, workers, cs, err, serialErr)
+				}
+			}
+		}
+	}
+
+	// Two malformed lines: the earliest must win even when a later chunk
+	// errors first.
+	multi := corrupt(lines, 20)
+	multiLines := bytes.Split(multi, []byte("\n"))
+	multi = corrupt(multiLines, 250)
+	serialErr := ReadLog(bytes.NewReader(multi), NewAggregate())
+	par, err := readLogParallel(bytes.NewReader(multi), 8, 64)
+	if err == nil || par != nil {
+		t.Fatal("double-corrupt log accepted")
+	}
+	if err.Error() != serialErr.Error() {
+		t.Fatalf("double-corrupt: error %q, serial %q", err, serialErr)
+	}
+}
+
+// The parallel reader must also agree with serial on a stream interleaving
+// comments, blank lines and CRLF endings.
+func TestReadLogParallelCommentsAndCRLF(t *testing.T) {
+	log, _ := buildCorpus(t, 9, 120)
+	var decorated strings.Builder
+	for i, line := range strings.SplitAfter(string(log), "\n") {
+		if line == "" {
+			continue
+		}
+		decorated.WriteString(line)
+		if i%7 == 0 {
+			decorated.WriteString("# interleaved comment\n")
+		}
+		if i%11 == 0 {
+			decorated.WriteString("\n")
+		}
+		if i%13 == 0 {
+			decorated.WriteString("\r\n")
+		}
+	}
+	want := NewAggregate()
+	if err := ReadLog(strings.NewReader(decorated.String()), want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readLogParallel(strings.NewReader(decorated.String()), 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregatesEqual(t, want, got)
+}
+
+// Study-facing sanity: the parallel path over a real simulated log equals
+// the streaming aggregate (the cross-layer version of the property above).
+func TestReadLogParallelEndToEndDates(t *testing.T) {
+	// A tiny deterministic hand-built log exercising date/month spread.
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	for m := time.January; m <= time.December; m++ {
+		r := sampleRecord()
+		r.Date = timeline.D(2016, m, 1+int(m))
+		r.Fingerprint = fmt.Sprintf("fp-%d", m)
+		if err := lw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := NewAggregate()
+	if err := ReadLog(bytes.NewReader(buf.Bytes()), want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readLogParallel(bytes.NewReader(buf.Bytes()), 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregatesEqual(t, want, got)
+	if !reflect.DeepEqual(want.FPDurations(), got.FPDurations()) {
+		t.Fatal("FPDurations differ after parallel load")
+	}
+}

@@ -54,6 +54,36 @@ type Record struct {
 	ServerCohort string
 }
 
+// Reset zeroes the record while keeping the capacity of its five
+// client-side slices, so a pooled record is refilled without allocating.
+func (r *Record) Reset() {
+	suites := r.ClientSuites[:0]
+	exts := r.ClientExtensions[:0]
+	curves := r.ClientCurves[:0]
+	pfs := r.ClientPointFmts[:0]
+	svs := r.ClientSupportedVs[:0]
+	*r = Record{
+		ClientSuites:      suites,
+		ClientExtensions:  exts,
+		ClientCurves:      curves,
+		ClientPointFmts:   pfs,
+		ClientSupportedVs: svs,
+	}
+}
+
+// Clone returns a deep copy of r that shares no slices with it. Sinks that
+// retain records beyond Observe must clone them, because producers reclaim
+// pooled records as soon as Observe returns.
+func (r *Record) Clone() *Record {
+	cp := *r
+	cp.ClientSuites = append([]uint16(nil), r.ClientSuites...)
+	cp.ClientExtensions = append([]registry.ExtensionID(nil), r.ClientExtensions...)
+	cp.ClientCurves = append([]registry.CurveID(nil), r.ClientCurves...)
+	cp.ClientPointFmts = append([]registry.ECPointFormat(nil), r.ClientPointFmts...)
+	cp.ClientSupportedVs = append([]registry.Version(nil), r.ClientSupportedVs...)
+	return &cp
+}
+
 // ObserveWire reconstructs the client-side fields of a Record from raw
 // ClientHello record bytes, exactly as a passive monitor on the wire would.
 // It returns an error for bytes the Bro analyzer would reject.
@@ -90,14 +120,16 @@ func (r *Record) ObserveWire(clientHelloRecord []byte) error {
 	return nil
 }
 
-// FromClientHello fills the client-side fields from a parsed hello.
+// FromClientHello fills the client-side fields from a parsed hello. The
+// record's existing slice capacity is reused, so feeding pooled records
+// through here is allocation-free in steady state.
 func (r *Record) FromClientHello(ch *wire.ClientHello) {
 	r.ClientVersion = ch.Version
-	r.ClientSuites = append([]uint16(nil), ch.CipherSuites...)
-	r.ClientExtensions = ch.ExtensionIDs()
-	r.ClientCurves = ch.SupportedGroups()
-	r.ClientPointFmts = ch.ECPointFormats()
-	r.ClientSupportedVs = ch.SupportedVersions()
+	r.ClientSuites = append(r.ClientSuites[:0], ch.CipherSuites...)
+	r.ClientExtensions = ch.AppendExtensionIDs(r.ClientExtensions[:0])
+	r.ClientCurves = ch.AppendSupportedGroups(r.ClientCurves[:0])
+	r.ClientPointFmts = ch.AppendECPointFormats(r.ClientPointFmts[:0])
+	r.ClientSupportedVs = ch.AppendSupportedVersions(r.ClientSupportedVs[:0])
 	r.OffersHeartbeat = ch.OffersHeartbeat()
 }
 
@@ -145,179 +177,182 @@ func Header() string {
 	return "#separator \\t\n#format " + tsvVersion + "\n#fields\tdate\testablished\tversion\tsuite\tcurve\thb_ack\tsuite_unoffered\talert\tfallback\tsslv2\tclient_version\tclient_suites\tclient_exts\tclient_curves\tclient_pfs\tclient_svs\toffers_hb\tfp\ttruth\tcohort\n"
 }
 
-// AppendTSV serializes the record as one log line appended to dst.
+const hexDigits = "0123456789abcdef"
+
+// AppendTSV serializes the record as one log line appended to dst. It
+// writes directly into dst — no intermediate builder — so serializing into
+// a reused buffer allocates nothing.
 func (r *Record) AppendTSV(dst []byte) []byte {
-	var b strings.Builder
-	b.Grow(256)
-	b.WriteString(r.Date.String())
-	writeBool := func(v bool) {
-		if v {
-			b.WriteString("\tT")
-		} else {
-			b.WriteString("\tF")
-		}
-	}
-	writeBool(r.Established)
-	fmt.Fprintf(&b, "\t%04x\t%04x\t%04x", uint16(r.Version), r.Suite, uint16(r.Curve))
-	writeBool(r.HeartbeatAck)
-	writeBool(r.SuiteUnoffer)
-	fmt.Fprintf(&b, "\t%d", r.AlertDesc)
-	writeBool(r.UsedFallback)
-	writeBool(r.SSLv2Hello)
-	fmt.Fprintf(&b, "\t%04x", uint16(r.ClientVersion))
-	b.WriteByte('\t')
-	writeHexList16(&b, r.ClientSuites)
-	b.WriteByte('\t')
-	writeHexListExt(&b, r.ClientExtensions)
-	b.WriteByte('\t')
-	writeHexListCurve(&b, r.ClientCurves)
-	b.WriteByte('\t')
-	writeHexListPF(&b, r.ClientPointFmts)
-	b.WriteByte('\t')
-	writeHexListVer(&b, r.ClientSupportedVs)
-	writeBool(r.OffersHeartbeat)
-	b.WriteByte('\t')
-	b.WriteString(emptyDash(r.Fingerprint))
-	b.WriteByte('\t')
-	b.WriteString(emptyDash(r.TruthClient))
-	b.WriteByte('\t')
-	b.WriteString(emptyDash(r.ServerCohort))
-	b.WriteByte('\n')
-	return append(dst, b.String()...)
+	dst = appendDate(dst, r.Date)
+	dst = appendBoolField(dst, r.Established)
+	dst = appendHex16(append(dst, '\t'), uint16(r.Version))
+	dst = appendHex16(append(dst, '\t'), r.Suite)
+	dst = appendHex16(append(dst, '\t'), uint16(r.Curve))
+	dst = appendBoolField(dst, r.HeartbeatAck)
+	dst = appendBoolField(dst, r.SuiteUnoffer)
+	dst = strconv.AppendUint(append(dst, '\t'), uint64(r.AlertDesc), 10)
+	dst = appendBoolField(dst, r.UsedFallback)
+	dst = appendBoolField(dst, r.SSLv2Hello)
+	dst = appendHex16(append(dst, '\t'), uint16(r.ClientVersion))
+	dst = appendHexList(append(dst, '\t'), r.ClientSuites)
+	dst = appendHexList(append(dst, '\t'), r.ClientExtensions)
+	dst = appendHexList(append(dst, '\t'), r.ClientCurves)
+	dst = appendHexList(append(dst, '\t'), r.ClientPointFmts)
+	dst = appendHexList(append(dst, '\t'), r.ClientSupportedVs)
+	dst = appendBoolField(dst, r.OffersHeartbeat)
+	dst = appendStrField(dst, r.Fingerprint)
+	dst = appendStrField(dst, r.TruthClient)
+	dst = appendStrField(dst, r.ServerCohort)
+	return append(dst, '\n')
 }
 
-func emptyDash(s string) string {
+func appendBoolField(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, '\t', 'T')
+	}
+	return append(dst, '\t', 'F')
+}
+
+func appendStrField(dst []byte, s string) []byte {
+	dst = append(dst, '\t')
 	if s == "" {
-		return "-"
+		return append(dst, '-')
 	}
-	return s
+	return append(dst, s...)
 }
 
-func writeHexList16(b *strings.Builder, vals []uint16) {
+// appendHex16 appends v as four lowercase hex digits (%04x).
+func appendHex16(dst []byte, v uint16) []byte {
+	return append(dst,
+		hexDigits[v>>12&0xf], hexDigits[v>>8&0xf],
+		hexDigits[v>>4&0xf], hexDigits[v&0xf])
+}
+
+// appendZeroPad appends v in decimal, zero-padded to width digits.
+func appendZeroPad(dst []byte, v, width int) []byte {
+	digits := 1
+	for x := v; x >= 10; x /= 10 {
+		digits++
+	}
+	for i := digits; i < width; i++ {
+		dst = append(dst, '0')
+	}
+	return strconv.AppendInt(dst, int64(v), 10)
+}
+
+// appendDate appends d as YYYY-MM-DD, matching timeline.Date.String.
+func appendDate(dst []byte, d timeline.Date) []byte {
+	dst = appendZeroPad(dst, d.Year, 4)
+	dst = append(dst, '-')
+	dst = appendZeroPad(dst, int(d.Month), 2)
+	dst = append(dst, '-')
+	return appendZeroPad(dst, d.Day, 2)
+}
+
+// appendHexList appends a comma-separated %04x list, "-" when empty. It is
+// generic over the registry's uint16- and uint8-backed code point types.
+func appendHexList[T ~uint8 | ~uint16](dst []byte, vals []T) []byte {
 	if len(vals) == 0 {
-		b.WriteByte('-')
-		return
+		return append(dst, '-')
 	}
 	for i, v := range vals {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		fmt.Fprintf(b, "%04x", v)
+		dst = appendHex16(dst, uint16(v))
 	}
-}
-
-func writeHexListExt(b *strings.Builder, vals []registry.ExtensionID) {
-	u := make([]uint16, len(vals))
-	for i, v := range vals {
-		u[i] = uint16(v)
-	}
-	writeHexList16(b, u)
-}
-
-func writeHexListCurve(b *strings.Builder, vals []registry.CurveID) {
-	u := make([]uint16, len(vals))
-	for i, v := range vals {
-		u[i] = uint16(v)
-	}
-	writeHexList16(b, u)
-}
-
-func writeHexListPF(b *strings.Builder, vals []registry.ECPointFormat) {
-	u := make([]uint16, len(vals))
-	for i, v := range vals {
-		u[i] = uint16(v)
-	}
-	writeHexList16(b, u)
-}
-
-func writeHexListVer(b *strings.Builder, vals []registry.Version) {
-	u := make([]uint16, len(vals))
-	for i, v := range vals {
-		u[i] = uint16(v)
-	}
-	writeHexList16(b, u)
+	return dst
 }
 
 // ParseTSV parses one log line produced by AppendTSV.
 func ParseTSV(line string) (Record, error) {
-	line = strings.TrimSuffix(line, "\n")
-	fields := strings.Split(line, "\t")
-	if len(fields) != 20 {
-		return Record{}, fmt.Errorf("notary: %d fields, want 20", len(fields))
-	}
 	var r Record
+	if err := ParseTSVInto(&r, line); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// ParseTSVInto parses one log line into r, reusing r's slice capacity — the
+// pooled counterpart of ParseTSV for the log-ingestion hot path. On error
+// r is left in an unspecified partially-filled state.
+func ParseTSVInto(r *Record, line string) error {
+	r.Reset()
+	line = strings.TrimSuffix(line, "\n")
+	var fields [20]string
+	n := 0
+	for s := line; ; {
+		i := strings.IndexByte(s, '\t')
+		if i < 0 {
+			if n < len(fields) {
+				fields[n] = s
+			}
+			n++
+			break
+		}
+		if n < len(fields) {
+			fields[n] = s[:i]
+		}
+		n++
+		s = s[i+1:]
+	}
+	if n != 20 {
+		return fmt.Errorf("notary: %d fields, want 20", n)
+	}
 	var err error
 	if r.Date, err = parseDate(fields[0]); err != nil {
-		return Record{}, err
+		return err
 	}
 	r.Established = fields[1] == "T"
 	if v, err := strconv.ParseUint(fields[2], 16, 16); err == nil {
 		r.Version = registry.Version(v)
 	} else {
-		return Record{}, err
+		return err
 	}
 	if v, err := strconv.ParseUint(fields[3], 16, 16); err == nil {
 		r.Suite = uint16(v)
 	} else {
-		return Record{}, err
+		return err
 	}
 	if v, err := strconv.ParseUint(fields[4], 16, 16); err == nil {
 		r.Curve = registry.CurveID(v)
 	} else {
-		return Record{}, err
+		return err
 	}
 	r.HeartbeatAck = fields[5] == "T"
 	r.SuiteUnoffer = fields[6] == "T"
 	if v, err := strconv.ParseUint(fields[7], 10, 8); err == nil {
 		r.AlertDesc = uint8(v)
 	} else {
-		return Record{}, err
+		return err
 	}
 	r.UsedFallback = fields[8] == "T"
 	r.SSLv2Hello = fields[9] == "T"
 	if v, err := strconv.ParseUint(fields[10], 16, 16); err == nil {
 		r.ClientVersion = registry.Version(v)
 	} else {
-		return Record{}, err
+		return err
 	}
-	suites, err := parseHexList(fields[11])
-	if err != nil {
-		return Record{}, err
+	if r.ClientSuites, err = appendParsedHexList(r.ClientSuites, fields[11]); err != nil {
+		return err
 	}
-	r.ClientSuites = suites
-	exts, err := parseHexList(fields[12])
-	if err != nil {
-		return Record{}, err
+	if r.ClientExtensions, err = appendParsedHexList(r.ClientExtensions, fields[12]); err != nil {
+		return err
 	}
-	for _, v := range exts {
-		r.ClientExtensions = append(r.ClientExtensions, registry.ExtensionID(v))
+	if r.ClientCurves, err = appendParsedHexList(r.ClientCurves, fields[13]); err != nil {
+		return err
 	}
-	curves, err := parseHexList(fields[13])
-	if err != nil {
-		return Record{}, err
+	if r.ClientPointFmts, err = appendParsedHexList(r.ClientPointFmts, fields[14]); err != nil {
+		return err
 	}
-	for _, v := range curves {
-		r.ClientCurves = append(r.ClientCurves, registry.CurveID(v))
-	}
-	pfs, err := parseHexList(fields[14])
-	if err != nil {
-		return Record{}, err
-	}
-	for _, v := range pfs {
-		r.ClientPointFmts = append(r.ClientPointFmts, registry.ECPointFormat(v))
-	}
-	svs, err := parseHexList(fields[15])
-	if err != nil {
-		return Record{}, err
-	}
-	for _, v := range svs {
-		r.ClientSupportedVs = append(r.ClientSupportedVs, registry.Version(v))
+	if r.ClientSupportedVs, err = appendParsedHexList(r.ClientSupportedVs, fields[15]); err != nil {
+		return err
 	}
 	r.OffersHeartbeat = fields[16] == "T"
 	r.Fingerprint = dashEmpty(fields[17])
 	r.TruthClient = dashEmpty(fields[18])
 	r.ServerCohort = dashEmpty(fields[19])
-	return r, nil
+	return nil
 }
 
 func dashEmpty(s string) string {
@@ -328,31 +363,43 @@ func dashEmpty(s string) string {
 }
 
 func parseDate(s string) (timeline.Date, error) {
-	parts := strings.Split(s, "-")
-	if len(parts) != 3 {
+	i := strings.IndexByte(s, '-')
+	if i < 0 {
 		return timeline.Date{}, fmt.Errorf("notary: bad date %q", s)
 	}
-	y, err1 := strconv.Atoi(parts[0])
-	m, err2 := strconv.Atoi(parts[1])
-	d, err3 := strconv.Atoi(parts[2])
+	j := strings.IndexByte(s[i+1:], '-')
+	if j < 0 || strings.IndexByte(s[i+1+j+1:], '-') >= 0 {
+		return timeline.Date{}, fmt.Errorf("notary: bad date %q", s)
+	}
+	j += i + 1
+	y, err1 := strconv.Atoi(s[:i])
+	m, err2 := strconv.Atoi(s[i+1 : j])
+	d, err3 := strconv.Atoi(s[j+1:])
 	if err1 != nil || err2 != nil || err3 != nil || m < 1 || m > 12 {
 		return timeline.Date{}, fmt.Errorf("notary: bad date %q", s)
 	}
 	return timeline.Date{Year: y, Month: timeMonth(m), Day: d}, nil
 }
 
-func parseHexList(s string) ([]uint16, error) {
+// appendParsedHexList parses a comma-separated %04x list into dst[:0],
+// keeping dst's capacity. "-" and "" parse to an empty list.
+func appendParsedHexList[T ~uint8 | ~uint16](dst []T, s string) ([]T, error) {
+	dst = dst[:0]
 	if s == "-" || s == "" {
-		return nil, nil
+		return dst, nil
 	}
-	parts := strings.Split(s, ",")
-	out := make([]uint16, len(parts))
-	for i, p := range parts {
+	for len(s) > 0 {
+		var p string
+		if i := strings.IndexByte(s, ','); i >= 0 {
+			p, s = s[:i], s[i+1:]
+		} else {
+			p, s = s, ""
+		}
 		v, err := strconv.ParseUint(p, 16, 16)
 		if err != nil {
-			return nil, fmt.Errorf("notary: bad hex list element %q", p)
+			return dst, fmt.Errorf("notary: bad hex list element %q", p)
 		}
-		out[i] = uint16(v)
+		dst = append(dst, T(v))
 	}
-	return out, nil
+	return dst, nil
 }

@@ -46,7 +46,7 @@ func TestParallelRunStreamOrder(t *testing.T) {
 	collect := func(workers int) []string {
 		opts.Workers = workers
 		var lines []string
-		if err := New(opts).Run(func(r *notary.Record) {
+		if err := New(opts).RunFunc(func(r *notary.Record) {
 			lines = append(lines, string(r.AppendTSV(nil)))
 		}); err != nil {
 			t.Fatal(err)
@@ -175,7 +175,7 @@ func TestFallbackVersionsUsedInDance(t *testing.T) {
 	opts.Start = timeline.M(2014, time.March)
 	opts.End = timeline.M(2014, time.March)
 	sawFallback := false
-	err := New(opts).Run(func(r *notary.Record) {
+	err := New(opts).RunFunc(func(r *notary.Record) {
 		if r.UsedFallback {
 			sawFallback = true
 			if !strings.HasPrefix(r.Date.String(), "2014-03") {

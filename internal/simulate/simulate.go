@@ -141,31 +141,41 @@ type scratch struct {
 	suites []uint16
 }
 
-// runMonth simulates one month's connections in order, invoking sink for
-// each record.
-func (s *Simulator) runMonth(m timeline.Month, sc *scratch, sink func(*notary.Record)) error {
+// runMonth simulates one month's connections in order, invoking observe for
+// each record. Records are leased from the notary pool; observe takes
+// ownership and must release (or forward) them.
+func (s *Simulator) runMonth(m timeline.Month, sc *scratch, observe func(*notary.Record) error) error {
 	rnd := s.monthRNG(m)
 	for i := 0; i < s.opts.ConnectionsPerMonth; i++ {
 		rec, err := s.connection(m, rnd, sc)
 		if err != nil {
 			return err
 		}
-		sink(rec)
+		if err := observe(rec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Run generates the dataset, invoking sink for every record in
+// Run generates the dataset, delivering every record to sink in
 // chronological-month order. With Workers > 1 months are simulated
-// concurrently and delivered to the sink in order; the sink itself is always
-// called from a single goroutine.
-func (s *Simulator) Run(sink func(*notary.Record)) error {
+// concurrently and delivered in order; Observe is always called from a
+// single goroutine. Records are pooled: each is valid only for the duration
+// of Observe (clone to retain). A sink error aborts the run. The sink is
+// not closed — its owner is.
+func (s *Simulator) Run(sink notary.Sink) error {
 	months := timeline.MonthsBetween(s.opts.Start, s.opts.End)
 	workers := s.workerCount(len(months))
 	if workers <= 1 {
 		var sc scratch
+		deliver := func(r *notary.Record) error {
+			err := sink.Observe(r)
+			notary.ReleaseRecord(r)
+			return err
+		}
 		for _, m := range months {
-			if err := s.runMonth(m, &sc, sink); err != nil {
+			if err := s.runMonth(m, &sc, deliver); err != nil {
 				return err
 			}
 		}
@@ -197,8 +207,9 @@ func (s *Simulator) Run(sink func(*notary.Record)) error {
 					continue
 				}
 				recs := make([]*notary.Record, 0, s.opts.ConnectionsPerMonth)
-				err := s.runMonth(months[idx], &sc, func(r *notary.Record) {
+				err := s.runMonth(months[idx], &sc, func(r *notary.Record) error {
 					recs = append(recs, r)
+					return nil
 				})
 				if err != nil {
 					aborted.Store(true)
@@ -222,14 +233,27 @@ func (s *Simulator) Run(sink func(*notary.Record)) error {
 		if out.err != nil && firstErr == nil {
 			firstErr = out.err
 		}
-		if firstErr == nil {
-			for _, rec := range out.recs {
-				sink(rec)
+		for _, rec := range out.recs {
+			if firstErr == nil {
+				if err := sink.Observe(rec); err != nil {
+					firstErr = err
+					aborted.Store(true)
+				}
 			}
+			notary.ReleaseRecord(rec)
 		}
 		<-sem
 	}
 	return firstErr
+}
+
+// RunFunc runs the simulation into a plain per-record function — a
+// convenience wrapper over Run for callers without sink state.
+func (s *Simulator) RunFunc(fn func(*notary.Record)) error {
+	return s.Run(notary.SinkFunc(func(r *notary.Record) error {
+		fn(r)
+		return nil
+	}))
 }
 
 // RunAggregate runs the simulation into a fresh aggregator. With Workers > 1
@@ -240,7 +264,7 @@ func (s *Simulator) RunAggregate() (*notary.Aggregate, error) {
 	workers := s.workerCount(len(months))
 	if workers <= 1 {
 		agg := notary.NewAggregate()
-		if err := s.Run(agg.Add); err != nil {
+		if err := s.Run(agg); err != nil {
 			return nil, err
 		}
 		return agg, nil
@@ -258,12 +282,17 @@ func (s *Simulator) RunAggregate() (*notary.Aggregate, error) {
 			agg := notary.NewAggregate()
 			aggs[w] = agg
 			var sc scratch
+			observe := func(r *notary.Record) error {
+				agg.Add(r)
+				notary.ReleaseRecord(r)
+				return nil
+			}
 			for {
 				idx := int(next.Add(1)) - 1
 				if idx >= len(months) || aborted.Load() {
 					return
 				}
-				if err := s.runMonth(months[idx], &sc, agg.Add); err != nil {
+				if err := s.runMonth(months[idx], &sc, observe); err != nil {
 					errs[w] = err
 					aborted.Store(true)
 					return
@@ -284,7 +313,8 @@ func (s *Simulator) RunAggregate() (*notary.Aggregate, error) {
 	return agg, nil
 }
 
-// connection simulates one observed connection in month m.
+// connection simulates one observed connection in month m. The returned
+// record is leased from the notary pool; the caller owns it.
 func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand, sc *scratch) (*notary.Record, error) {
 	date := timeline.Date{Year: m.Year, Month: m.M, Day: 1 + rnd.Intn(28)}
 	profile, relIdx := s.Clients.Sample(date, rnd)
@@ -293,23 +323,29 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand, sc *scratch) (*
 
 	_, serverCfg := s.Servers.SampleForClient(profile.Name, date, rnd)
 
-	rec := &notary.Record{
-		Date:         date,
-		TruthClient:  profile.Name,
-		ServerCohort: serverCfg.Name,
-	}
+	rec := notary.LeaseRecord()
+	rec.Date = date
+	rec.TruthClient = profile.Name
+	rec.ServerCohort = serverCfg.Name
 
 	// The Nagios monitoring traffic opens with SSLv2-compatible hellos part
 	// of the time (§5.1).
 	if cfg.SSLv2Compat && rnd.Float64() < 0.3 {
-		return s.sslv2Connection(rec, &cfg, serverCfg, rnd)
+		out, err := s.sslv2Connection(rec, &cfg, serverCfg, rnd)
+		if err != nil {
+			notary.ReleaseRecord(rec)
+			return nil, err
+		}
+		return out, nil
 	}
 
 	hello, err := s.buildHello(&cfg, profile.Name, rnd, sc, false)
 	if err != nil {
+		notary.ReleaseRecord(rec)
 		return nil, err
 	}
 	if err := s.observe(rec, hello); err != nil {
+		notary.ReleaseRecord(rec)
 		return nil, err
 	}
 
@@ -325,6 +361,7 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand, sc *scratch) (*
 			fb.SupportedVersions = nil
 			retryHello, err := s.buildHello(&fb, profile.Name, rnd, sc, true)
 			if err != nil {
+				notary.ReleaseRecord(rec)
 				return nil, err
 			}
 			res = handshake.Negotiate(retryHello, serverCfg)
@@ -332,6 +369,7 @@ func (s *Simulator) connection(m timeline.Month, rnd *rand.Rand, sc *scratch) (*
 				rec.UsedFallback = true
 				// The Notary sees the successful exchange's hello.
 				if err := s.observe(rec, retryHello); err != nil {
+					notary.ReleaseRecord(rec)
 					return nil, err
 				}
 				break

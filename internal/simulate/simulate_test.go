@@ -47,7 +47,7 @@ func TestDeterminism(t *testing.T) {
 	var lines1, lines2 []string
 	run := func(out *[]string) {
 		sim := New(opts)
-		err := sim.Run(func(r *notary.Record) { *out = append(*out, string(r.AppendTSV(nil))) })
+		err := sim.RunFunc(func(r *notary.Record) { *out = append(*out, string(r.AppendTSV(nil))) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -538,7 +538,7 @@ func TestFallbackDanceHappens(t *testing.T) {
 	opts.Start = timeline.M(2014, time.January)
 	opts.End = timeline.M(2014, time.June)
 	n, fallbacks := 0, 0
-	err := New(opts).Run(func(r *notary.Record) {
+	err := New(opts).RunFunc(func(r *notary.Record) {
 		n++
 		if r.UsedFallback {
 			fallbacks++
@@ -586,7 +586,7 @@ func TestStructLevelSSLv2Path(t *testing.T) {
 	opts.End = timeline.M(2013, time.March)
 	opts.WireLevel = false
 	sslv2 := 0
-	err := New(opts).Run(func(r *notary.Record) {
+	err := New(opts).RunFunc(func(r *notary.Record) {
 		if r.SSLv2Hello {
 			sslv2++
 			if r.ClientVersion != registry.VersionSSL2 {

@@ -118,52 +118,89 @@ func (e *HelloEncoder) AppendRecord(ch *ClientHello, dst []byte) ([]byte, error)
 
 // ExtensionIDs returns the extension code points in wire order.
 func (ch *ClientHello) ExtensionIDs() []registry.ExtensionID {
-	out := make([]registry.ExtensionID, len(ch.Extensions))
-	for i, e := range ch.Extensions {
-		out[i] = e.ID
+	return ch.AppendExtensionIDs(nil)
+}
+
+// AppendExtensionIDs appends the extension code points in wire order to dst.
+// Append-variant accessors exist for every list the Notary pipeline copies
+// into a (pooled) record, so observation reuses the record's capacity
+// instead of allocating per connection.
+func (ch *ClientHello) AppendExtensionIDs(dst []registry.ExtensionID) []registry.ExtensionID {
+	for _, e := range ch.Extensions {
+		dst = append(dst, e.ID)
 	}
-	return out
+	return dst
+}
+
+// AppendSupportedGroups appends the supported_groups curves to dst; dst is
+// returned unchanged when the extension is absent or malformed.
+func (ch *ClientHello) AppendSupportedGroups(dst []registry.CurveID) []registry.CurveID {
+	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedGroups)
+	if !ok {
+		return dst
+	}
+	r := newReader(e.Data)
+	body := r.vec16("supported_groups")
+	if r.err != nil || len(body)%2 != 0 {
+		return dst
+	}
+	for i := 0; i+1 < len(body); i += 2 {
+		dst = append(dst, registry.CurveID(uint16(body[i])<<8|uint16(body[i+1])))
+	}
+	return dst
+}
+
+// AppendECPointFormats appends the offered EC point formats to dst; dst is
+// returned unchanged when the extension is absent or malformed.
+func (ch *ClientHello) AppendECPointFormats(dst []registry.ECPointFormat) []registry.ECPointFormat {
+	e, ok := FindExtension(ch.Extensions, registry.ExtECPointFormats)
+	if !ok {
+		return dst
+	}
+	r := newReader(e.Data)
+	body := r.vec8("ec_point_formats")
+	if r.err != nil {
+		return dst
+	}
+	for _, v := range body {
+		dst = append(dst, registry.ECPointFormat(v))
+	}
+	return dst
+}
+
+// AppendSupportedVersions appends the supported_versions list to dst; dst is
+// returned unchanged when the extension is absent or malformed.
+func (ch *ClientHello) AppendSupportedVersions(dst []registry.Version) []registry.Version {
+	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedVersions)
+	if !ok {
+		return dst
+	}
+	r := newReader(e.Data)
+	body := r.vec8("supported_versions")
+	if r.err != nil || len(body)%2 != 0 {
+		return dst
+	}
+	for i := 0; i+1 < len(body); i += 2 {
+		dst = append(dst, registry.Version(uint16(body[i])<<8|uint16(body[i+1])))
+	}
+	return dst
 }
 
 // SupportedGroups returns the curves offered in the supported_groups
 // extension, or nil when absent.
 func (ch *ClientHello) SupportedGroups() []registry.CurveID {
-	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedGroups)
-	if !ok {
-		return nil
-	}
-	curves, err := ParseSupportedGroups(e.Data)
-	if err != nil {
-		return nil
-	}
-	return curves
+	return ch.AppendSupportedGroups(nil)
 }
 
 // ECPointFormats returns the offered EC point formats, or nil when absent.
 func (ch *ClientHello) ECPointFormats() []registry.ECPointFormat {
-	e, ok := FindExtension(ch.Extensions, registry.ExtECPointFormats)
-	if !ok {
-		return nil
-	}
-	formats, err := ParseECPointFormats(e.Data)
-	if err != nil {
-		return nil
-	}
-	return formats
+	return ch.AppendECPointFormats(nil)
 }
 
 // SupportedVersions returns the supported_versions list (TLS 1.3 style
 // version negotiation), or nil when the extension is absent.
 func (ch *ClientHello) SupportedVersions() []registry.Version {
-	e, ok := FindExtension(ch.Extensions, registry.ExtSupportedVersions)
-	if !ok {
-		return nil
-	}
-	versions, err := ParseSupportedVersions(e.Data)
-	if err != nil {
-		return nil
-	}
-	return versions
+	return ch.AppendSupportedVersions(nil)
 }
 
 // OffersHeartbeat reports whether the hello carries the heartbeat extension.

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"tlsage/internal/registry"
@@ -121,50 +120,10 @@ func NewServerNameExtension(host string) Extension {
 
 // --- Typed extension parsers ---
 
-// ParseSupportedGroups decodes a supported_groups body.
-func ParseSupportedGroups(data []byte) ([]registry.CurveID, error) {
-	r := newReader(data)
-	vals := r.u16list("supported_groups")
-	if r.err != nil {
-		return nil, r.err
-	}
-	out := make([]registry.CurveID, len(vals))
-	for i, v := range vals {
-		out[i] = registry.CurveID(v)
-	}
-	return out, nil
-}
-
-// ParseECPointFormats decodes an ec_point_formats body.
-func ParseECPointFormats(data []byte) ([]registry.ECPointFormat, error) {
-	r := newReader(data)
-	body := r.vec8("ec_point_formats")
-	if r.err != nil {
-		return nil, r.err
-	}
-	out := make([]registry.ECPointFormat, len(body))
-	for i, v := range body {
-		out[i] = registry.ECPointFormat(v)
-	}
-	return out, nil
-}
-
-// ParseSupportedVersions decodes a ClientHello supported_versions body.
-func ParseSupportedVersions(data []byte) ([]registry.Version, error) {
-	r := newReader(data)
-	body := r.vec8("supported_versions")
-	if r.err != nil {
-		return nil, r.err
-	}
-	if len(body)%2 != 0 {
-		return nil, fmt.Errorf("%w: odd supported_versions length", ErrMalformed)
-	}
-	out := make([]registry.Version, len(body)/2)
-	for i := range out {
-		out[i] = registry.Version(binary.BigEndian.Uint16(body[2*i:]))
-	}
-	return out, nil
-}
+// The supported_groups / ec_point_formats / supported_versions bodies are
+// decoded by the ClientHello.Append* accessors in clienthello.go — one
+// decoder per extension, shared by the plain and append-into accessor
+// families.
 
 // ParseServerName decodes the first host_name entry of a server_name body.
 func ParseServerName(data []byte) (string, error) {
