@@ -32,8 +32,10 @@ import (
 )
 
 var (
-	benchOnce sync.Once
-	benchAgg  *notary.Aggregate
+	benchOnce      sync.Once
+	benchAgg       *notary.Aggregate
+	benchFrameOnce sync.Once
+	benchFrame     *analysis.Frame
 )
 
 func studyAggregate(b *testing.B) *notary.Aggregate {
@@ -47,6 +49,24 @@ func studyAggregate(b *testing.B) *notary.Aggregate {
 		}
 	})
 	return benchAgg
+}
+
+// studyFrame is the columnar snapshot the per-figure benches evaluate
+// against, built once per process like the aggregate it snapshots.
+func studyFrame(b *testing.B) *analysis.Frame {
+	b.Helper()
+	agg := studyAggregate(b)
+	benchFrameOnce.Do(func() { benchFrame = analysis.NewFrame(agg) })
+	return benchFrame
+}
+
+// benchFigure fetches one catalog figure from the shared frame.
+func benchFigure(b *testing.B, n int) analysis.Figure {
+	fig, ok := studyFrame(b).FigureByNum(n)
+	if !ok {
+		b.Fatalf("no figure %d", n)
+	}
+	return fig
 }
 
 // monthVal extracts a series value for metric reporting.
@@ -106,109 +126,138 @@ func BenchmarkTable6BrowserVersions(b *testing.B) {
 	b.ReportMetric(float64(len(rows)), "rows")
 }
 
-// --- Figures ---
+// --- Figures (catalog evaluation over the shared columnar frame) ---
+
+// BenchmarkFrameBuild measures the one-pass columnar snapshot of the study
+// aggregate that all figure/scalar queries evaluate against.
+func BenchmarkFrameBuild(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var f *analysis.Frame
+	for i := 0; i < b.N; i++ {
+		f = analysis.NewFrame(agg)
+	}
+	b.ReportMetric(float64(f.Len()), "months")
+}
+
+// BenchmarkAllFigures measures the full frame path end to end: snapshot
+// build plus all ten catalog figures (compare BenchmarkAllFiguresLegacy in
+// internal/analysis, the recorded pre-refactor map-walking baseline).
+func BenchmarkAllFigures(b *testing.B) {
+	agg := studyAggregate(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var figs []analysis.Figure
+	for i := 0; i < b.N; i++ {
+		figs = analysis.AllFigures(agg)
+	}
+	if len(figs) != 10 {
+		b.Fatal("figure count")
+	}
+}
 
 func BenchmarkFigure1NegotiatedVersions(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure1Versions(agg)
+		fig = benchFigure(b, 1)
 	}
 	b.ReportMetric(monthVal(fig, "TLSv12", 2018, time.February), "tls12_feb18_pct_paper_90")
 	b.ReportMetric(monthVal(fig, "TLSv10", 2018, time.February), "tls10_feb18_pct_paper_2.8")
 }
 
 func BenchmarkFigure2NegotiatedModes(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure2NegotiatedClasses(agg)
+		fig = benchFigure(b, 2)
 	}
 	b.ReportMetric(monthVal(fig, "RC4", 2013, time.August), "rc4_aug13_pct_paper_60")
 	b.ReportMetric(monthVal(fig, "AEAD", 2018, time.March), "aead_mar18_pct_paper_90")
 }
 
 func BenchmarkFigure3AdvertisedModes(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure3Advertised(agg)
+		fig = benchFigure(b, 3)
 	}
 	b.ReportMetric(monthVal(fig, "3DES", 2018, time.March), "tdes_mar18_pct_paper_69")
 }
 
 func BenchmarkFigure4FingerprintModes(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure4FingerprintClasses(agg)
+		fig = benchFigure(b, 4)
 	}
 	b.ReportMetric(monthVal(fig, "RC4", 2018, time.March), "fp_rc4_mar18_pct_paper_39.9")
 }
 
 func BenchmarkFigure5CipherPositions(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure5Positions(agg)
+		fig = benchFigure(b, 5)
 	}
 	b.ReportMetric(monthVal(fig, "AEAD", 2016, time.June), "aead_pos_jun16_pct")
 	b.ReportMetric(monthVal(fig, "3DES", 2016, time.June), "tdes_pos_jun16_pct")
 }
 
 func BenchmarkFigure6RC4Advertised(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure6RC4Advertised(agg)
+		fig = benchFigure(b, 6)
 	}
 	b.ReportMetric(monthVal(fig, "RC4 advertised", 2018, time.March), "rc4_adv_mar18_pct_paper_10")
 }
 
 func BenchmarkFigure7WeakCiphers(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure7WeakAdvertised(agg)
+		fig = benchFigure(b, 7)
 	}
 	b.ReportMetric(monthVal(fig, "Export", 2012, time.June), "export_jun12_pct_paper_28.19")
 	b.ReportMetric(monthVal(fig, "Anonymous", 2015, time.July), "anon_jul15_pct_paper_12.9")
 }
 
 func BenchmarkFigure8ForwardSecrecy(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure8Kex(agg)
+		fig = benchFigure(b, 8)
 	}
 	b.ReportMetric(monthVal(fig, "ECDHE", 2018, time.March), "ecdhe_mar18_pct_paper_85")
 	b.ReportMetric(monthVal(fig, "RSA", 2012, time.June), "rsa_jun12_pct_paper_60")
 }
 
 func BenchmarkFigure9AEADNegotiated(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure9AEADNegotiated(agg)
+		fig = benchFigure(b, 9)
 	}
 	b.ReportMetric(monthVal(fig, "ChaCha20-Poly1305", 2018, time.March), "chacha_mar18_pct_paper_1.7")
 }
 
 func BenchmarkFigure10AEADAdvertised(b *testing.B) {
-	agg := studyAggregate(b)
+	studyFrame(b)
 	b.ResetTimer()
 	var fig analysis.Figure
 	for i := 0; i < b.N; i++ {
-		fig = analysis.Figure10AEADAdvertised(agg)
+		fig = benchFigure(b, 10)
 	}
 	b.ReportMetric(monthVal(fig, "AES128-GCM", 2018, time.March), "gcm128_adv_mar18_pct")
 }

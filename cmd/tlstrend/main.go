@@ -6,8 +6,9 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend figure     [-n N] [-conns N] [-chart]             print one figure (1–10) as table or chart
+//	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
+//	tlstrend metrics                                           list the figure catalog (no simulation)
 //	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
 //	tlstrend table2     [-conns N]                             print the Table 2 reproduction
 //	tlstrend scan       [-hosts N] [-date YYYY-MM-DD]          run an active scan campaign over a local farm
@@ -47,6 +48,8 @@ func main() {
 		err = cmdFigure(args)
 	case "figures":
 		err = cmdFigures(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	case "table":
 		err = cmdTable(args)
 	case "table2":
@@ -80,8 +83,9 @@ func usage() {
 commands:
   simulate      run the passive Notary study (optionally write a TSV log)
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
-  figure        print one figure (1–10) as a table or ASCII chart
+  figure        print one catalog figure (-n 1–10 or -name) as a table or ASCII chart
   figures       print every figure
+  metrics       list the declarative figure catalog (ids, names, series)
   table         print Table 1, 3, 4, 5 or 6
   table2        print the Table 2 fingerprint-summary reproduction
   scan          run an active Censys-style campaign over a local TCP farm
@@ -185,6 +189,7 @@ func cmdLoadLog(args []string) error {
 func cmdFigure(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	n := fs.Int("n", 1, "figure number (1–10)")
+	name := fs.String("name", "", "catalog figure name (see 'tlstrend metrics'); overrides -n")
 	conns := fs.Int("conns", 600, "connections per month")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
@@ -192,11 +197,21 @@ func cmdFigure(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *name != "" {
+		if _, ok := analysis.SpecByName(*name); !ok {
+			return fmt.Errorf("no figure named %q (run 'tlstrend metrics' for the catalog)", *name)
+		}
+	}
 	s, err := runStudy(*conns, *seed, *workers, "")
 	if err != nil {
 		return err
 	}
-	fig, err := s.Figure(*n)
+	var fig analysis.Figure
+	if *name != "" {
+		fig, err = s.FigureByName(*name)
+	} else {
+		fig, err = s.Figure(*n)
+	}
 	if err != nil {
 		return err
 	}
@@ -204,6 +219,30 @@ func cmdFigure(args []string) error {
 		return fig.RenderChart(os.Stdout, 100, 20)
 	}
 	return fig.RenderTable(os.Stdout)
+}
+
+// cmdMetrics lists the declarative figure catalog: every figure the engine
+// can evaluate, with its lookup keys and series names. Pure metadata — no
+// simulation runs.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-10s %-22s %s\n", "n", "id", "name", "title")
+	for _, spec := range analysis.Catalog() {
+		num := "-"
+		if spec.Num != 0 {
+			num = strconv.Itoa(spec.Num)
+		}
+		fmt.Printf("%-4s %-10s %-22s %s\n", num, spec.ID, spec.Name, spec.Title)
+		series := make([]string, 0, len(spec.Metrics))
+		for _, m := range spec.Metrics {
+			series = append(series, m.Name)
+		}
+		fmt.Printf("     %-10s series: %s\n", "", strings.Join(series, ", "))
+	}
+	return nil
 }
 
 func cmdFigures(args []string) error {

@@ -21,7 +21,11 @@ func main() {
 	if err := study.Run(nil); err != nil {
 		log.Fatal(err)
 	}
-	impacts := analysis.AttackImpacts(study.Aggregate())
+	// Impacts evaluate against the study's cached columnar frame.
+	impacts, err := study.Impacts()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := analysis.RenderImpacts(os.Stdout, impacts); err != nil {
 		log.Fatal(err)
 	}

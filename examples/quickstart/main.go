@@ -17,7 +17,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fig, err := study.Figure(2)
+	// Figures come from the declarative catalog; "negotiated-classes" is
+	// Figure 2 (study.Figure(2) resolves the same entry by number).
+	fig, err := study.FigureByName("negotiated-classes")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,11 +15,13 @@ import (
 )
 
 var (
-	testAggOnce sync.Once
-	testAgg     *notary.Aggregate
+	testAggOnce   sync.Once
+	testAgg       *notary.Aggregate
+	testFrameOnce sync.Once
+	testFrame     *Frame
 )
 
-func sharedAgg(t *testing.T) *notary.Aggregate {
+func sharedAgg(t testing.TB) *notary.Aggregate {
 	t.Helper()
 	testAggOnce.Do(func() {
 		sim := simulate.New(simulate.DefaultOptions(400))
@@ -30,6 +32,23 @@ func sharedAgg(t *testing.T) *notary.Aggregate {
 		}
 	})
 	return testAgg
+}
+
+func sharedFrame(t testing.TB) *Frame {
+	t.Helper()
+	agg := sharedAgg(t)
+	testFrameOnce.Do(func() { testFrame = NewFrame(agg) })
+	return testFrame
+}
+
+// figByNum fetches one paper figure from the shared frame.
+func figByNum(t testing.TB, n int) Figure {
+	t.Helper()
+	fig, ok := sharedFrame(t).FigureByNum(n)
+	if !ok {
+		t.Fatalf("no figure %d in catalog", n)
+	}
+	return fig
 }
 
 func TestAllFiguresBuild(t *testing.T) {
@@ -56,7 +75,7 @@ func TestAllFiguresBuild(t *testing.T) {
 }
 
 func TestFigure1SeriesShape(t *testing.T) {
-	f := Figure1Versions(sharedAgg(t))
+	f := figByNum(t, 1)
 	tls10, ok := f.SeriesByName("TLSv10")
 	if !ok {
 		t.Fatal("TLSv10 series missing")
@@ -72,7 +91,7 @@ func TestFigure1SeriesShape(t *testing.T) {
 }
 
 func TestFigure8SeriesConsistency(t *testing.T) {
-	f := Figure8Kex(sharedAgg(t))
+	f := figByNum(t, 8)
 	rsa, _ := f.SeriesByName("RSA")
 	ecdhe, _ := f.SeriesByName("ECDHE")
 	rsaEarly, _ := rsa.Value(timeline.M(2012, time.June))
@@ -83,7 +102,7 @@ func TestFigure8SeriesConsistency(t *testing.T) {
 }
 
 func TestRenderTable(t *testing.T) {
-	f := Figure2NegotiatedClasses(sharedAgg(t))
+	f := figByNum(t, 2)
 	var buf bytes.Buffer
 	if err := f.RenderTable(&buf); err != nil {
 		t.Fatal(err)
@@ -106,7 +125,7 @@ func TestRenderTable(t *testing.T) {
 }
 
 func TestRenderChart(t *testing.T) {
-	f := Figure6RC4Advertised(sharedAgg(t))
+	f := figByNum(t, 6)
 	var buf bytes.Buffer
 	if err := f.RenderChart(&buf, 72, 14); err != nil {
 		t.Fatal(err)
@@ -255,7 +274,10 @@ func TestSeriesValueMissing(t *testing.T) {
 }
 
 func TestExtensionUptake(t *testing.T) {
-	f := ExtensionUptake(sharedAgg(t))
+	f, ok := sharedFrame(t).FigureByName("extensions")
+	if !ok {
+		t.Fatal("extensions figure missing from catalog")
+	}
 	if f.ID != "Figure E1" || len(f.Series) != 7 {
 		t.Fatalf("figure: %s with %d series", f.ID, len(f.Series))
 	}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// MetricEval computes one series of values, one per frame row. Evaluators
+// resolve their columns once and then scan densely — no per-row map lookups.
+type MetricEval func(f *Frame) []float64
+
+// MetricSpec names one series of a figure and how to compute it.
+type MetricSpec struct {
+	Name string
+	Eval MetricEval
+}
+
+// FigureSpec is one catalog entry: a figure as data. The generic engine
+// (Frame.EvalFigure) turns a spec into the same Figure value the hand-rolled
+// constructors used to build.
+type FigureSpec struct {
+	// Num is the paper figure number (1–10), 0 for extras like the §9
+	// extension-uptake figure.
+	Num int
+	// ID is the rendered identifier, e.g. "Figure 4".
+	ID string
+	// Name is the catalog lookup name, e.g. "fingerprint-classes".
+	Name string
+	// Title is the rendered figure title.
+	Title string
+	// Metrics are the figure's series, in render order.
+	Metrics []MetricSpec
+	// Events names the timeline attack events drawn as markers.
+	Events []string
+}
+
+// --- evaluator vocabulary ---
+
+// ColumnFn resolves one dense integer column of a frame. It may return nil
+// when the underlying key was never observed; evaluators read nil as zeros.
+type ColumnFn func(f *Frame) []int
+
+func versionCol(v registry.Version) ColumnFn {
+	return func(f *Frame) []int { return f.Version[v] }
+}
+
+func classCol(c string) ColumnFn {
+	return func(f *Frame) []int { return f.Class[c] }
+}
+
+func kexCol(k registry.KeyExchange) ColumnFn {
+	return func(f *Frame) []int { return f.Kex[k] }
+}
+
+func extCol(e registry.ExtensionID) ColumnFn {
+	return func(f *Frame) []int { return f.Extension[e] }
+}
+
+// addCols sums columns element-wise (e.g. ECDHE + TLS 1.3 in Figure 8).
+func addCols(cols ...ColumnFn) ColumnFn {
+	return func(f *Frame) []int {
+		out := make([]int, f.Len())
+		for _, cf := range cols {
+			c := cf(f)
+			for i := range c {
+				out[i] += c[i]
+			}
+		}
+		return out
+	}
+}
+
+// pctSeries evaluates 100·num/den per row with zero denominators yielding 0.
+func pctSeries(num, den []int, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = pctAt(num, den, i)
+	}
+	return out
+}
+
+// overTotal expresses a column as a percentage of all monthly hellos.
+func overTotal(cf ColumnFn) MetricEval {
+	return func(f *Frame) []float64 { return pctSeries(cf(f), f.Total, f.Len()) }
+}
+
+// overEstablished expresses a column as a percentage of established
+// connections.
+func overEstablished(cf ColumnFn) MetricEval {
+	return func(f *Frame) []float64 { return pctSeries(cf(f), f.Established, f.Len()) }
+}
+
+// overFPs expresses a column as a percentage of distinct monthly
+// fingerprints.
+func overFPs(cf ColumnFn) MetricEval {
+	return func(f *Frame) []float64 { return pctSeries(cf(f), f.FPTotal, f.Len()) }
+}
+
+// position evaluates the Figure 5 metric: the average relative position of
+// the first suite of a class in client-advertised lists.
+func position(class string) MetricEval {
+	return func(f *Frame) []float64 {
+		out := make([]float64, f.Len())
+		sums, counts := f.PosSum[class], f.PosCount[class]
+		for i := range out {
+			if c := at(counts, i); c != 0 {
+				out[i] = 100 * sums[i] / float64(c)
+			}
+		}
+		return out
+	}
+}
+
+// --- the catalog ---
+
+// catalog declares every figure of the paper plus the §9 extension-uptake
+// extra. Order fixes Figures()' output; Num and Name are the lookup keys.
+var catalog = []FigureSpec{
+	{
+		Num: 1, ID: "Figure 1", Name: "versions",
+		Title: "Negotiated SSL/TLS versions (% monthly connections)",
+		Metrics: []MetricSpec{
+			{"SSLv3", overEstablished(versionCol(registry.VersionSSL3))},
+			{"TLSv10", overEstablished(versionCol(registry.VersionTLS10))},
+			{"TLSv11", overEstablished(versionCol(registry.VersionTLS11))},
+			{"TLSv12", overEstablished(versionCol(registry.VersionTLS12))},
+			{"TLSv13", overEstablished(versionCol(registry.VersionTLS13))},
+		},
+		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
+			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
+			timeline.EventSweet32},
+	},
+	{
+		Num: 2, ID: "Figure 2", Name: "negotiated-classes",
+		Title: "Negotiated connections using RC4, CBC or AEAD (%)",
+		Metrics: []MetricSpec{
+			{"AEAD", overEstablished(classCol("AEAD"))},
+			{"CBC", overEstablished(classCol("CBC"))},
+			{"RC4", overEstablished(classCol("RC4"))},
+		},
+		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
+			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
+			timeline.EventSweet32},
+	},
+	{
+		Num: 3, ID: "Figure 3", Name: "advertised-classes",
+		Title: "Client-advertised RC4 / DES / 3DES / AEAD (% connections)",
+		Metrics: []MetricSpec{
+			{"AEAD", overTotal(func(f *Frame) []int { return f.AdvAEAD })},
+			{"RC4", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
+			{"DES", overTotal(func(f *Frame) []int { return f.AdvDES })},
+			{"3DES", overTotal(func(f *Frame) []int { return f.Adv3DES })},
+		},
+		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
+			timeline.EventRC4Passwords, timeline.EventRC4NoMore, timeline.EventSweet32},
+	},
+	{
+		Num: 4, ID: "Figure 4", Name: "fingerprint-classes",
+		Title: "Fingerprints supporting RC4 / DES / 3DES / AEAD (% monthly fingerprints)",
+		Metrics: []MetricSpec{
+			{"AEAD", overFPs(func(f *Frame) []int { return f.FPAEAD })},
+			{"RC4", overFPs(func(f *Frame) []int { return f.FPRC4 })},
+			{"DES", overFPs(func(f *Frame) []int { return f.FPDES })},
+			{"3DES", overFPs(func(f *Frame) []int { return f.FP3DES })},
+		},
+		Events: []string{timeline.EventPOODLE, timeline.EventRC4Passwords,
+			timeline.EventRC4NoMore, timeline.EventSweet32},
+	},
+	{
+		Num: 5, ID: "Figure 5", Name: "cipher-positions",
+		Title: "Average relative position of first advertised cipher by class (%)",
+		Metrics: []MetricSpec{
+			{"AEAD", position("AEAD")},
+			{"CBC", position("CBC")},
+			{"RC4", position("RC4")},
+			{"DES", position("DES")},
+			{"3DES", position("3DES")},
+		},
+	},
+	{
+		Num: 6, ID: "Figure 6", Name: "rc4-advertised",
+		Title: "Connections with client-advertised RC4 (%)",
+		Metrics: []MetricSpec{
+			{"RC4 advertised", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
+		},
+		Events: []string{timeline.EventRC4, timeline.EventRFC7465,
+			timeline.EventRC4Passwords, timeline.EventRC4NoMore},
+	},
+	{
+		Num: 7, ID: "Figure 7", Name: "weak-advertised",
+		Title: "Client-advertised Export / Anonymous / NULL suites (% connections)",
+		Metrics: []MetricSpec{
+			{"Export", overTotal(func(f *Frame) []int { return f.AdvExport })},
+			{"Anonymous", overTotal(func(f *Frame) []int { return f.AdvAnon })},
+			{"Null", overTotal(func(f *Frame) []int { return f.AdvNULL })},
+		},
+		Events: []string{timeline.EventFREAK, timeline.EventLogjam},
+	},
+	{
+		Num: 8, ID: "Figure 8", Name: "key-exchange",
+		Title: "Negotiated RSA / DHE / ECDHE key exchange (% connections)",
+		Metrics: []MetricSpec{
+			{"RSA", overEstablished(kexCol(registry.KexRSA))},
+			{"DHE", overEstablished(kexCol(registry.KexDHE))},
+			// TLS 1.3 counts as ECDHE: its key exchange is ephemeral.
+			{"ECDHE", overEstablished(addCols(kexCol(registry.KexECDHE), kexCol(registry.KexTLS13)))},
+		},
+		Events: []string{timeline.EventSnowden},
+	},
+	{
+		Num: 9, ID: "Figure 9", Name: "aead-negotiated",
+		Title: "Negotiated AEAD ciphers (% connections)",
+		Metrics: []MetricSpec{
+			{"AEAD Total", overEstablished(func(f *Frame) []int { return f.NegAEAD })},
+			{"AES128-GCM", overEstablished(func(f *Frame) []int { return f.NegGCM128 })},
+			{"AES256-GCM", overEstablished(func(f *Frame) []int { return f.NegGCM256 })},
+			{"ChaCha20-Poly1305", overEstablished(func(f *Frame) []int { return f.NegChaCha })},
+		},
+	},
+	{
+		Num: 10, ID: "Figure 10", Name: "aead-advertised",
+		Title: "Client-advertised AEAD ciphers (% connections)",
+		Metrics: []MetricSpec{
+			{"AES128-GCM", overTotal(func(f *Frame) []int { return f.AdvAESGCM128 })},
+			{"AES256-GCM", overTotal(func(f *Frame) []int { return f.AdvAESGCM256 })},
+			{"ChaCha20-Poly1305", overTotal(func(f *Frame) []int { return f.AdvChaCha })},
+			{"AES-CCM", overTotal(func(f *Frame) []int { return f.AdvCCM })},
+		},
+	},
+	{
+		// The §9 "other fascinating insights" figure the paper mentions but
+		// had no space for: monthly advertisement of renegotiation_info (the
+		// RIE response to the renegotiation attack), encrypt_then_mac (the
+		// Lucky 13 response with "very limited take up"), and friends.
+		Num: 0, ID: "Figure E1", Name: "extensions",
+		Title: "Client-advertised TLS extensions (% connections)",
+		Metrics: []MetricSpec{
+			{"renegotiation_info", overTotal(extCol(registry.ExtRenegotiationInfo))},
+			{"encrypt_then_mac", overTotal(extCol(registry.ExtEncryptThenMAC))},
+			{"extended_master_secret", overTotal(extCol(registry.ExtExtendedMasterSecret))},
+			{"session_ticket", overTotal(extCol(registry.ExtSessionTicket))},
+			{"server_name", overTotal(extCol(registry.ExtServerName))},
+			{"heartbeat", overTotal(extCol(registry.ExtHeartbeat))},
+			{"supported_versions", overTotal(extCol(registry.ExtSupportedVersions))},
+		},
+		Events: []string{timeline.EventLucky13, timeline.EventHeartbleed},
+	},
+}
+
+// Catalog returns every declared figure spec, paper figures first.
+func Catalog() []FigureSpec { return catalog }
+
+// SpecByNum finds the paper figure numbered n (1–10).
+func SpecByNum(n int) (FigureSpec, bool) {
+	for _, s := range catalog {
+		if s.Num == n && n != 0 {
+			return s, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// SpecByName finds a spec by catalog name, e.g. "fingerprint-classes".
+func SpecByName(name string) (FigureSpec, bool) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// --- the engine ---
+
+// EvalFigure evaluates one spec against the frame: every metric becomes a
+// series with one point per month on the frame's axis. The produced Series
+// share the frame's month index, making Series.Value O(1).
+func (f *Frame) EvalFigure(spec FigureSpec) Figure {
+	fig := Figure{
+		ID:     spec.ID,
+		Title:  spec.Title,
+		Series: make([]Series, 0, len(spec.Metrics)),
+		Events: attackEvents(spec.Events...),
+	}
+	for _, m := range spec.Metrics {
+		vals := m.Eval(f)
+		pts := make([]Point, len(vals))
+		for i, v := range vals {
+			pts[i] = Point{Month: f.Months[i], Value: v}
+		}
+		fig.Series = append(fig.Series, Series{Name: m.Name, Points: pts, index: f.index})
+	}
+	return fig
+}
+
+// Figures evaluates the ten paper figures in order.
+func (f *Frame) Figures() []Figure {
+	out := make([]Figure, 0, 10)
+	for _, spec := range catalog {
+		if spec.Num != 0 {
+			out = append(out, f.EvalFigure(spec))
+		}
+	}
+	return out
+}
+
+// FigureByNum evaluates paper figure n (1–10).
+func (f *Frame) FigureByNum(n int) (Figure, bool) {
+	spec, ok := SpecByNum(n)
+	if !ok {
+		return Figure{}, false
+	}
+	return f.EvalFigure(spec), true
+}
+
+// FigureByName evaluates the catalog figure with the given name.
+func (f *Frame) FigureByName(name string) (Figure, bool) {
+	spec, ok := SpecByName(name)
+	if !ok {
+		return Figure{}, false
+	}
+	return f.EvalFigure(spec), true
+}

@@ -1,7 +1,9 @@
 // Package analysis turns aggregated Notary data into the paper's figures
 // and summary statistics: monthly percentage series (Figures 1–10), the
-// §4.1 fingerprint lifetime report and the §5/§6 scalar findings. Renderers
-// produce aligned text tables and ASCII charts, one per artifact.
+// §4.1 fingerprint lifetime report and the §5/§6 scalar findings. All
+// queries evaluate against a columnar Frame snapshot (frame.go) through the
+// declarative figure catalog (catalog.go); renderers produce aligned text
+// tables and ASCII charts, one per artifact.
 package analysis
 
 import (
@@ -22,10 +24,20 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+	// index maps a month to its offset in Points. Frame-built series share
+	// the frame's month index, so Value is O(1); hand-built series leave it
+	// nil and fall back to a linear scan.
+	index map[timeline.Month]int
 }
 
 // Value returns the series value at m, ok=false when absent.
 func (s *Series) Value(m timeline.Month) (float64, bool) {
+	if s.index != nil {
+		if i, ok := s.index[m]; ok && i < len(s.Points) && s.Points[i].Month == m {
+			return s.Points[i].Value, true
+		}
+		return 0, false
+	}
 	for _, p := range s.Points {
 		if p.Month == m {
 			return p.Value, true
@@ -53,18 +65,6 @@ func (f *Figure) SeriesByName(name string) (*Series, bool) {
 	return nil, false
 }
 
-// metric maps one month's stats to a percentage.
-type metric func(ms *notary.MonthStats) float64
-
-// buildSeries evaluates a metric over every observed month.
-func buildSeries(agg *notary.Aggregate, name string, f metric) Series {
-	s := Series{Name: name}
-	for _, m := range agg.Months() {
-		s.Points = append(s.Points, Point{Month: m, Value: f(agg.Stats(m))})
-	}
-	return s
-}
-
 func attackEvents(names ...string) []timeline.Event {
 	var out []timeline.Event
 	for _, e := range timeline.Events() {
@@ -77,254 +77,11 @@ func attackEvents(names ...string) []timeline.Event {
 	return out
 }
 
-// Figure1Versions reproduces Figure 1: negotiated SSL/TLS versions as a
-// percentage of monthly established connections.
-func Figure1Versions(agg *notary.Aggregate) Figure {
-	ver := func(v registry.Version) metric {
-		return func(ms *notary.MonthStats) float64 { return ms.PctEstablished(ms.ByVersion[v]) }
-	}
-	return Figure{
-		ID:    "Figure 1",
-		Title: "Negotiated SSL/TLS versions (% monthly connections)",
-		Series: []Series{
-			buildSeries(agg, "SSLv3", ver(registry.VersionSSL3)),
-			buildSeries(agg, "TLSv10", ver(registry.VersionTLS10)),
-			buildSeries(agg, "TLSv11", ver(registry.VersionTLS11)),
-			buildSeries(agg, "TLSv12", ver(registry.VersionTLS12)),
-			buildSeries(agg, "TLSv13", ver(registry.VersionTLS13)),
-		},
-		Events: attackEvents(timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
-			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
-			timeline.EventSweet32),
-	}
-}
-
-// Figure2NegotiatedClasses reproduces Figure 2: connections negotiating
-// RC4, CBC or AEAD suites.
-func Figure2NegotiatedClasses(agg *notary.Aggregate) Figure {
-	cls := func(c string) metric {
-		return func(ms *notary.MonthStats) float64 { return ms.PctEstablished(ms.ByClass[c]) }
-	}
-	return Figure{
-		ID:    "Figure 2",
-		Title: "Negotiated connections using RC4, CBC or AEAD (%)",
-		Series: []Series{
-			buildSeries(agg, "AEAD", cls("AEAD")),
-			buildSeries(agg, "CBC", cls("CBC")),
-			buildSeries(agg, "RC4", cls("RC4")),
-		},
-		Events: attackEvents(timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
-			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
-			timeline.EventSweet32),
-	}
-}
-
-// Figure3Advertised reproduces Figure 3: connections whose client advertises
-// RC4, DES, 3DES or AEAD suites.
-func Figure3Advertised(agg *notary.Aggregate) Figure {
-	return Figure{
-		ID:    "Figure 3",
-		Title: "Client-advertised RC4 / DES / 3DES / AEAD (% connections)",
-		Series: []Series{
-			buildSeries(agg, "AEAD", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvAEAD) }),
-			buildSeries(agg, "RC4", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvRC4) }),
-			buildSeries(agg, "DES", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvDES) }),
-			buildSeries(agg, "3DES", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.Adv3DES) }),
-		},
-		Events: attackEvents(timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
-			timeline.EventRC4Passwords, timeline.EventRC4NoMore, timeline.EventSweet32),
-	}
-}
-
-// Figure4FingerprintClasses reproduces Figure 4: the share of distinct
-// monthly fingerprints whose cipher list includes RC4 / DES / 3DES / AEAD.
-func Figure4FingerprintClasses(agg *notary.Aggregate) Figure {
-	fpPct := func(sel func(*notary.FPCaps) bool) metric {
-		return func(ms *notary.MonthStats) float64 {
-			if len(ms.FPs) == 0 {
-				return 0
-			}
-			n := 0
-			for _, caps := range ms.FPs {
-				if sel(caps) {
-					n++
-				}
-			}
-			return 100 * float64(n) / float64(len(ms.FPs))
-		}
-	}
-	return Figure{
-		ID:    "Figure 4",
-		Title: "Fingerprints supporting RC4 / DES / 3DES / AEAD (% monthly fingerprints)",
-		Series: []Series{
-			buildSeries(agg, "AEAD", fpPct(func(c *notary.FPCaps) bool { return c.AEAD })),
-			buildSeries(agg, "RC4", fpPct(func(c *notary.FPCaps) bool { return c.RC4 })),
-			buildSeries(agg, "DES", fpPct(func(c *notary.FPCaps) bool { return c.DES })),
-			buildSeries(agg, "3DES", fpPct(func(c *notary.FPCaps) bool { return c.TDES })),
-		},
-		Events: attackEvents(timeline.EventPOODLE, timeline.EventRC4Passwords,
-			timeline.EventRC4NoMore, timeline.EventSweet32),
-	}
-}
-
-// Figure5Positions reproduces Figure 5: the average relative position (%)
-// of the first AEAD/CBC/RC4/DES/3DES suite in client-advertised lists.
-func Figure5Positions(agg *notary.Aggregate) Figure {
-	pos := func(class string) metric {
-		return func(ms *notary.MonthStats) float64 {
-			if ms.PosCount[class] == 0 {
-				return 0
-			}
-			return 100 * ms.PosSum[class] / float64(ms.PosCount[class])
-		}
-	}
-	var series []Series
-	for _, class := range []string{"AEAD", "CBC", "RC4", "DES", "3DES"} {
-		series = append(series, buildSeries(agg, class, pos(class)))
-	}
-	return Figure{
-		ID:     "Figure 5",
-		Title:  "Average relative position of first advertised cipher by class (%)",
-		Series: series,
-	}
-}
-
-// Figure6RC4Advertised reproduces Figure 6: connections where the client
-// advertises RC4, with browser-removal events.
-func Figure6RC4Advertised(agg *notary.Aggregate) Figure {
-	return Figure{
-		ID:    "Figure 6",
-		Title: "Connections with client-advertised RC4 (%)",
-		Series: []Series{
-			buildSeries(agg, "RC4 advertised", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvRC4) }),
-		},
-		Events: attackEvents(timeline.EventRC4, timeline.EventRFC7465,
-			timeline.EventRC4Passwords, timeline.EventRC4NoMore),
-	}
-}
-
-// Figure7WeakAdvertised reproduces Figure 7: connections advertising
-// Export, Anonymous or NULL suites.
-func Figure7WeakAdvertised(agg *notary.Aggregate) Figure {
-	return Figure{
-		ID:    "Figure 7",
-		Title: "Client-advertised Export / Anonymous / NULL suites (% connections)",
-		Series: []Series{
-			buildSeries(agg, "Export", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvExport) }),
-			buildSeries(agg, "Anonymous", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvAnon) }),
-			buildSeries(agg, "Null", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvNULL) }),
-		},
-		Events: attackEvents(timeline.EventFREAK, timeline.EventLogjam),
-	}
-}
-
-// Figure8Kex reproduces Figure 8: negotiated RSA vs DHE vs ECDHE key
-// exchanges (TLS 1.3 counts as ECDHE, as its key exchange is ephemeral).
-func Figure8Kex(agg *notary.Aggregate) Figure {
-	kex := func(k registry.KeyExchange) metric {
-		return func(ms *notary.MonthStats) float64 { return ms.PctEstablished(ms.ByKex[k]) }
-	}
-	ecdhe := func(ms *notary.MonthStats) float64 {
-		return ms.PctEstablished(ms.ByKex[registry.KexECDHE] + ms.ByKex[registry.KexTLS13])
-	}
-	return Figure{
-		ID:    "Figure 8",
-		Title: "Negotiated RSA / DHE / ECDHE key exchange (% connections)",
-		Series: []Series{
-			buildSeries(agg, "RSA", kex(registry.KexRSA)),
-			buildSeries(agg, "DHE", kex(registry.KexDHE)),
-			buildSeries(agg, "ECDHE", ecdhe),
-		},
-		Events: attackEvents(timeline.EventSnowden),
-	}
-}
-
-// Figure9AEADNegotiated reproduces Figure 9: connections negotiating
-// AES-GCM (128/256), ChaCha20-Poly1305, and any AEAD.
-func Figure9AEADNegotiated(agg *notary.Aggregate) Figure {
-	suiteSel := func(sel func(registry.Suite) bool) metric {
-		return func(ms *notary.MonthStats) float64 {
-			n := 0
-			for id, c := range ms.BySuite {
-				if s, ok := registry.SuiteByID(id); ok && sel(s) {
-					n += c
-				}
-			}
-			return ms.PctEstablished(n)
-		}
-	}
-	return Figure{
-		ID:    "Figure 9",
-		Title: "Negotiated AEAD ciphers (% connections)",
-		Series: []Series{
-			buildSeries(agg, "AEAD Total", suiteSel(registry.Suite.IsAEAD)),
-			buildSeries(agg, "AES128-GCM", suiteSel(func(s registry.Suite) bool {
-				return s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES128
-			})),
-			buildSeries(agg, "AES256-GCM", suiteSel(func(s registry.Suite) bool {
-				return s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES256
-			})),
-			buildSeries(agg, "ChaCha20-Poly1305", suiteSel(func(s registry.Suite) bool {
-				return s.Cipher == registry.CipherChaCha20
-			})),
-		},
-	}
-}
-
-// Figure10AEADAdvertised reproduces Figure 10: connections advertising
-// AES-GCM, ChaCha20-Poly1305 and AES-CCM.
-func Figure10AEADAdvertised(agg *notary.Aggregate) Figure {
-	return Figure{
-		ID:    "Figure 10",
-		Title: "Client-advertised AEAD ciphers (% connections)",
-		Series: []Series{
-			buildSeries(agg, "AES128-GCM", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvAESGCM128) }),
-			buildSeries(agg, "AES256-GCM", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvAESGCM256) }),
-			buildSeries(agg, "ChaCha20-Poly1305", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvChaCha) }),
-			buildSeries(agg, "AES-CCM", func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvCCM) }),
-		},
-	}
-}
-
-// ExtensionUptake builds the §9 "other fascinating insights" figure the
-// paper mentions but had no space for: monthly advertisement of the
-// renegotiation_info extension (the RIE response to the renegotiation
-// attack), encrypt_then_mac (the Lucky 13 response with "very limited take
-// up"), extended_master_secret, session_ticket, SNI and heartbeat.
-func ExtensionUptake(agg *notary.Aggregate) Figure {
-	ext := func(id registry.ExtensionID) metric {
-		return func(ms *notary.MonthStats) float64 { return ms.Pct(ms.ByExtension[id]) }
-	}
-	return Figure{
-		ID:    "Figure E1",
-		Title: "Client-advertised TLS extensions (% connections)",
-		Series: []Series{
-			buildSeries(agg, "renegotiation_info", ext(registry.ExtRenegotiationInfo)),
-			buildSeries(agg, "encrypt_then_mac", ext(registry.ExtEncryptThenMAC)),
-			buildSeries(agg, "extended_master_secret", ext(registry.ExtExtendedMasterSecret)),
-			buildSeries(agg, "session_ticket", ext(registry.ExtSessionTicket)),
-			buildSeries(agg, "server_name", ext(registry.ExtServerName)),
-			buildSeries(agg, "heartbeat", ext(registry.ExtHeartbeat)),
-			buildSeries(agg, "supported_versions", ext(registry.ExtSupportedVersions)),
-		},
-		Events: attackEvents(timeline.EventLucky13, timeline.EventHeartbleed),
-	}
-}
-
-// AllFigures builds every passive-dataset figure.
+// AllFigures builds every passive-dataset figure from one frame snapshot of
+// agg. Callers holding a Frame (core.Study caches one) should use
+// Frame.Figures directly.
 func AllFigures(agg *notary.Aggregate) []Figure {
-	return []Figure{
-		Figure1Versions(agg),
-		Figure2NegotiatedClasses(agg),
-		Figure3Advertised(agg),
-		Figure4FingerprintClasses(agg),
-		Figure5Positions(agg),
-		Figure6RC4Advertised(agg),
-		Figure7WeakAdvertised(agg),
-		Figure8Kex(agg),
-		Figure9AEADNegotiated(agg),
-		Figure10AEADAdvertised(agg),
-	}
+	return NewFrame(agg).Figures()
 }
 
 // TLS13VariantShare is one advertised TLS 1.3 variant's share of
@@ -334,15 +91,15 @@ type TLS13VariantShare struct {
 	Share   float64
 }
 
-// TLS13VariantShares computes the advertised-variant split over all months.
-func TLS13VariantShares(agg *notary.Aggregate) []TLS13VariantShare {
-	totals := map[registry.Version]int{}
+// TLS13VariantSharesFrame computes the advertised-variant split over all
+// months of the frame.
+func TLS13VariantSharesFrame(f *Frame) []TLS13VariantShare {
 	grand := 0
-	for _, m := range agg.Months() {
-		for v, n := range agg.Stats(m).TLS13Variant {
-			totals[v] += n
-			grand += n
-		}
+	totals := make(map[registry.Version]int, len(f.TLS13Variant))
+	for v, c := range f.TLS13Variant {
+		n := sumCol(c)
+		totals[v] = n
+		grand += n
 	}
 	out := make([]TLS13VariantShare, 0, len(totals))
 	for v, n := range totals {
@@ -357,22 +114,26 @@ func TLS13VariantShares(agg *notary.Aggregate) []TLS13VariantShare {
 	return out
 }
 
-// CurveShares computes the §6.3.3 table: negotiated curve shares over the
-// whole dataset, descending.
+// TLS13VariantShares computes the advertised-variant split over all months.
+func TLS13VariantShares(agg *notary.Aggregate) []TLS13VariantShare {
+	return TLS13VariantSharesFrame(NewFrame(agg))
+}
+
+// CurveShare is one row of the §6.3.3 table: negotiated curve shares over
+// the whole dataset, descending.
 type CurveShare struct {
 	Curve registry.CurveID
 	Share float64 // percent of curve-bearing connections
 }
 
-// CurveSharesOverall computes curve usage over all months.
-func CurveSharesOverall(agg *notary.Aggregate) []CurveShare {
-	totals := map[registry.CurveID]int{}
+// CurveSharesFrame computes curve usage over all months of the frame.
+func CurveSharesFrame(f *Frame) []CurveShare {
 	grand := 0
-	for _, m := range agg.Months() {
-		for c, n := range agg.Stats(m).ByCurve {
-			totals[c] += n
-			grand += n
-		}
+	totals := make(map[registry.CurveID]int, len(f.Curve))
+	for cv, c := range f.Curve {
+		n := sumCol(c)
+		totals[cv] = n
+		grand += n
 	}
 	out := make([]CurveShare, 0, len(totals))
 	for c, n := range totals {
@@ -385,4 +146,9 @@ func CurveSharesOverall(agg *notary.Aggregate) []CurveShare {
 		return out[i].Curve < out[j].Curve
 	})
 	return out
+}
+
+// CurveSharesOverall computes curve usage over all months.
+func CurveSharesOverall(agg *notary.Aggregate) []CurveShare {
+	return CurveSharesFrame(NewFrame(agg))
 }

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// Frame is a columnar, immutable snapshot of a notary.Aggregate: a sorted
+// month axis plus one dense per-month column for every counter the analysis
+// layer queries. It is built in a single pass over the aggregate and is the
+// substrate every figure, scalar and impact metric evaluates against —
+// instead of ten figure constructors each re-walking the per-month maps, the
+// maps are walked once here and the queries become slice scans.
+//
+// Keyed columns (versions, classes, key exchanges, curves, extensions,
+// TLS 1.3 variants) live in maps from key to a dense []int aligned with
+// Months; a key absent from the map means the counter was zero everywhere.
+// Derived columns that used to be recomputed per series — the negotiated
+// suite-class totals of Figure 9 and the forward-secret key-exchange total —
+// are classified once at build time.
+//
+// A Frame never mutates after NewFrame returns, so it is safe to share
+// across goroutines and to cache: Generation records the aggregate
+// generation it snapshotted, letting holders detect staleness while the
+// aggregate keeps ingesting (the live-service read path).
+type Frame struct {
+	// Months is the sorted month axis; every column below has len(Months).
+	Months []timeline.Month
+	// index maps a month to its row, shared with every Series the frame
+	// builds so Series.Value is O(1).
+	index map[timeline.Month]int
+	// generation is the aggregate generation this frame snapshotted.
+	generation uint64
+
+	// Denominators.
+	Total       []int // all observed hellos
+	Established []int // established connections
+
+	// Negotiated parameters, one dense column per observed key.
+	Version      map[registry.Version][]int
+	Class        map[string][]int
+	Kex          map[registry.KeyExchange][]int
+	Curve        map[registry.CurveID][]int
+	Extension    map[registry.ExtensionID][]int
+	TLS13Variant map[registry.Version][]int
+
+	// Client advertisement counters.
+	AdvRC4, AdvDES, Adv3DES, AdvAEAD               []int
+	AdvExport, AdvAnon, AdvNULL                    []int
+	AdvAESGCM128, AdvAESGCM256, AdvChaCha, AdvCCM  []int
+	AdvTLS13                                       []int
+	OffersHeartbeat, HeartbeatAck                  []int
+	NULLNegotiated, AnonNegotiated                 []int
+	ExportNegotiated, UnofferedChoice, SSLv2Hellos []int
+
+	// Figure 5 relative-position accumulators, per suite class.
+	PosSum   map[string][]float64
+	PosCount map[string][]int
+
+	// Fingerprint capability counts (Figure 4): distinct fingerprints per
+	// month and how many of them advertise each class.
+	FPTotal                      []int
+	FPRC4, FPDES, FP3DES, FPAEAD []int
+
+	// Build-time suite classification (Figure 9): negotiated connections per
+	// AEAD family, from one SuiteByID pass over the union of observed suites.
+	NegAEAD, NegGCM128, NegGCM256, NegChaCha []int
+
+	// KexForwardSecret sums the forward-secret key exchanges (§6.3.1),
+	// classified once at build time.
+	KexForwardSecret []int
+}
+
+// negClass is the build-time classification of one negotiated suite ID.
+type negClass uint8
+
+const (
+	negAEAD negClass = 1 << iota
+	negGCM128
+	negGCM256
+	negChaCha
+)
+
+// classifyNegSuite resolves one suite ID's figure classes. Each distinct ID
+// is classified once per frame build; the result is cached in NewFrame.
+func classifyNegSuite(id uint16) negClass {
+	s, ok := registry.SuiteByID(id)
+	if !ok {
+		return 0
+	}
+	var c negClass
+	if s.IsAEAD() {
+		c |= negAEAD
+	}
+	if s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES128 {
+		c |= negGCM128
+	}
+	if s.Mode == registry.ModeGCM && s.Cipher == registry.CipherAES256 {
+		c |= negGCM256
+	}
+	if s.Cipher == registry.CipherChaCha20 {
+		c |= negChaCha
+	}
+	return c
+}
+
+// col returns the dense column for key k in m, allocating it on first use.
+func col[K comparable](m map[K][]int, k K, n int) []int {
+	c, ok := m[k]
+	if !ok {
+		c = make([]int, n)
+		m[k] = c
+	}
+	return c
+}
+
+// NewFrame snapshots agg into a columnar frame in one chronological pass.
+func NewFrame(agg *notary.Aggregate) *Frame {
+	n := agg.NumMonths()
+	ints := func() []int { return make([]int, n) }
+	f := &Frame{
+		Months:     make([]timeline.Month, 0, n),
+		index:      make(map[timeline.Month]int, n),
+		generation: agg.Generation(),
+
+		Total:       ints(),
+		Established: ints(),
+
+		Version:      make(map[registry.Version][]int),
+		Class:        make(map[string][]int),
+		Kex:          make(map[registry.KeyExchange][]int),
+		Curve:        make(map[registry.CurveID][]int),
+		Extension:    make(map[registry.ExtensionID][]int),
+		TLS13Variant: make(map[registry.Version][]int),
+
+		AdvRC4: ints(), AdvDES: ints(), Adv3DES: ints(), AdvAEAD: ints(),
+		AdvExport: ints(), AdvAnon: ints(), AdvNULL: ints(),
+		AdvAESGCM128: ints(), AdvAESGCM256: ints(), AdvChaCha: ints(), AdvCCM: ints(),
+		AdvTLS13:        ints(),
+		OffersHeartbeat: ints(), HeartbeatAck: ints(),
+		NULLNegotiated: ints(), AnonNegotiated: ints(),
+		ExportNegotiated: ints(), UnofferedChoice: ints(), SSLv2Hellos: ints(),
+
+		PosSum:   make(map[string][]float64),
+		PosCount: make(map[string][]int),
+
+		FPTotal: ints(),
+		FPRC4:   ints(), FPDES: ints(), FP3DES: ints(), FPAEAD: ints(),
+
+		NegAEAD: ints(), NegGCM128: ints(), NegGCM256: ints(), NegChaCha: ints(),
+
+		KexForwardSecret: ints(),
+	}
+
+	suiteClasses := make(map[uint16]negClass)
+	row := 0
+	agg.EachMonth(func(ms *notary.MonthStats) {
+		i := row
+		row++
+		f.Months = append(f.Months, ms.Month)
+		f.index[ms.Month] = i
+
+		f.Total[i] = ms.Total
+		f.Established[i] = ms.Established
+
+		for v, c := range ms.ByVersion {
+			col(f.Version, v, n)[i] = c
+		}
+		for cl, c := range ms.ByClass {
+			col(f.Class, cl, n)[i] = c
+		}
+		for k, c := range ms.ByKex {
+			col(f.Kex, k, n)[i] = c
+			if k.ForwardSecret() {
+				f.KexForwardSecret[i] += c
+			}
+		}
+		for cv, c := range ms.ByCurve {
+			col(f.Curve, cv, n)[i] = c
+		}
+		for e, c := range ms.ByExtension {
+			col(f.Extension, e, n)[i] = c
+		}
+		for v, c := range ms.TLS13Variant {
+			col(f.TLS13Variant, v, n)[i] = c
+		}
+
+		f.AdvRC4[i] = ms.AdvRC4
+		f.AdvDES[i] = ms.AdvDES
+		f.Adv3DES[i] = ms.Adv3DES
+		f.AdvAEAD[i] = ms.AdvAEAD
+		f.AdvExport[i] = ms.AdvExport
+		f.AdvAnon[i] = ms.AdvAnon
+		f.AdvNULL[i] = ms.AdvNULL
+		f.AdvAESGCM128[i] = ms.AdvAESGCM128
+		f.AdvAESGCM256[i] = ms.AdvAESGCM256
+		f.AdvChaCha[i] = ms.AdvChaCha
+		f.AdvCCM[i] = ms.AdvCCM
+		f.AdvTLS13[i] = ms.AdvTLS13
+		f.OffersHeartbeat[i] = ms.OffersHeartbeatN
+		f.HeartbeatAck[i] = ms.HeartbeatAckN
+		f.NULLNegotiated[i] = ms.NULLNegotiated
+		f.AnonNegotiated[i] = ms.AnonNegotiated
+		f.ExportNegotiated[i] = ms.ExportNegotiated
+		f.UnofferedChoice[i] = ms.UnofferedChoice
+		f.SSLv2Hellos[i] = ms.SSLv2Hellos
+
+		for cl, s := range ms.PosSum {
+			c, ok := f.PosSum[cl]
+			if !ok {
+				c = make([]float64, n)
+				f.PosSum[cl] = c
+			}
+			c[i] = s
+		}
+		for cl, cnt := range ms.PosCount {
+			col(f.PosCount, cl, n)[i] = cnt
+		}
+
+		for _, caps := range ms.FPs {
+			f.FPTotal[i]++
+			if caps.RC4 {
+				f.FPRC4[i]++
+			}
+			if caps.DES {
+				f.FPDES[i]++
+			}
+			if caps.TDES {
+				f.FP3DES[i]++
+			}
+			if caps.AEAD {
+				f.FPAEAD[i]++
+			}
+		}
+
+		for id, c := range ms.BySuite {
+			nc, seen := suiteClasses[id]
+			if !seen {
+				nc = classifyNegSuite(id)
+				suiteClasses[id] = nc
+			}
+			if nc&negAEAD != 0 {
+				f.NegAEAD[i] += c
+			}
+			if nc&negGCM128 != 0 {
+				f.NegGCM128[i] += c
+			}
+			if nc&negGCM256 != 0 {
+				f.NegGCM256[i] += c
+			}
+			if nc&negChaCha != 0 {
+				f.NegChaCha[i] += c
+			}
+		}
+	})
+	return f
+}
+
+// Len returns the number of months on the frame's axis.
+func (f *Frame) Len() int { return len(f.Months) }
+
+// Generation returns the aggregate generation this frame snapshotted;
+// compare against Aggregate.Generation to detect staleness.
+func (f *Frame) Generation() uint64 { return f.generation }
+
+// Row returns the row index of month m, ok=false when the month is outside
+// the frame.
+func (f *Frame) Row(m timeline.Month) (int, bool) {
+	i, ok := f.index[m]
+	return i, ok
+}
+
+// at reads column c at row i, treating a nil (never-observed) column as 0.
+func at(c []int, i int) int {
+	if c == nil {
+		return 0
+	}
+	return c[i]
+}
+
+// pctAt returns 100·num/den at row i with the figure convention that an
+// empty denominator yields 0. A negative row (month outside the frame) also
+// yields 0, matching the old nil-MonthStats behaviour.
+func pctAt(num, den []int, i int) float64 {
+	if i < 0 || at(den, i) == 0 {
+		return 0
+	}
+	return 100 * float64(at(num, i)) / float64(at(den, i))
+}
+
+// sumCol returns the sum of a column, 0 for nil.
+func sumCol(c []int) int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}

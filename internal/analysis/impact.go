@@ -25,47 +25,33 @@ type AttackImpact struct {
 func (a AttackImpact) Delta12() float64 { return a.After12 - a.Before }
 
 // impactMetrics pairs each event with the series the paper reads it
-// against.
+// against, expressed in the same evaluator vocabulary as the figure
+// catalog. The forward-secrecy metric reads the frame's build-time
+// KexForwardSecret column instead of re-classifying key exchanges per call.
 var impactMetrics = []struct {
 	event  string
 	metric string
-	f      metric
+	eval   MetricEval
 }{
-	{timeline.EventRC4, "RC4 negotiated %", func(ms *notary.MonthStats) float64 {
-		return ms.PctEstablished(ms.ByClass["RC4"])
-	}},
-	{timeline.EventRC4NoMore, "RC4 advertised %", func(ms *notary.MonthStats) float64 {
-		return ms.Pct(ms.AdvRC4)
-	}},
-	{timeline.EventSnowden, "forward-secret negotiated %", func(ms *notary.MonthStats) float64 {
-		n := 0
-		for k, c := range ms.ByKex {
-			if k.ForwardSecret() {
-				n += c
-			}
-		}
-		return ms.PctEstablished(n)
-	}},
-	{timeline.EventLucky13, "CBC negotiated %", func(ms *notary.MonthStats) float64 {
-		return ms.PctEstablished(ms.ByClass["CBC"])
-	}},
-	{timeline.EventPOODLE, "SSL3 negotiated %", func(ms *notary.MonthStats) float64 {
-		return ms.PctEstablished(ms.ByVersion[registry.VersionSSL3])
-	}},
-	{timeline.EventSweet32, "3DES advertised %", func(ms *notary.MonthStats) float64 {
-		return ms.Pct(ms.Adv3DES)
-	}},
-	{timeline.EventFREAK, "export advertised %", func(ms *notary.MonthStats) float64 {
-		return ms.Pct(ms.AdvExport)
-	}},
-	{timeline.EventHeartbleed, "heartbeat offered %", func(ms *notary.MonthStats) float64 {
-		return ms.Pct(ms.OffersHeartbeatN)
-	}},
+	{timeline.EventRC4, "RC4 negotiated %", overEstablished(classCol("RC4"))},
+	{timeline.EventRC4NoMore, "RC4 advertised %", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
+	{timeline.EventSnowden, "forward-secret negotiated %",
+		overEstablished(func(f *Frame) []int { return f.KexForwardSecret })},
+	{timeline.EventLucky13, "CBC negotiated %", overEstablished(classCol("CBC"))},
+	{timeline.EventPOODLE, "SSL3 negotiated %", overEstablished(versionCol(registry.VersionSSL3))},
+	{timeline.EventSweet32, "3DES advertised %", overTotal(func(f *Frame) []int { return f.Adv3DES })},
+	{timeline.EventFREAK, "export advertised %", overTotal(func(f *Frame) []int { return f.AdvExport })},
+	{timeline.EventHeartbleed, "heartbeat offered %", overTotal(func(f *Frame) []int { return f.OffersHeartbeat })},
 }
 
 // AttackImpacts evaluates every event/metric pair available in the
 // aggregate's window.
 func AttackImpacts(agg *notary.Aggregate) []AttackImpact {
+	return AttackImpactsFrame(NewFrame(agg))
+}
+
+// AttackImpactsFrame evaluates the event/metric pairs against a frame.
+func AttackImpactsFrame(f *Frame) []AttackImpact {
 	var out []AttackImpact
 	for _, im := range impactMetrics {
 		date, ok := timeline.EventDate(im.event)
@@ -73,10 +59,10 @@ func AttackImpacts(agg *notary.Aggregate) []AttackImpact {
 			continue
 		}
 		m0 := timeline.MonthOf(date)
-		before := agg.Stats(m0.AddMonths(-1))
-		after6 := agg.Stats(m0.AddMonths(6))
-		after12 := agg.Stats(m0.AddMonths(12))
-		if before == nil || after6 == nil || after12 == nil {
+		before, okB := f.Row(m0.AddMonths(-1))
+		after6, ok6 := f.Row(m0.AddMonths(6))
+		after12, ok12 := f.Row(m0.AddMonths(12))
+		if !okB || !ok6 || !ok12 {
 			continue
 		}
 		ev := timeline.Event{Name: im.event, Date: date}
@@ -85,12 +71,13 @@ func AttackImpacts(agg *notary.Aggregate) []AttackImpact {
 				ev = e
 			}
 		}
+		vals := im.eval(f)
 		out = append(out, AttackImpact{
 			Event:   ev,
 			Metric:  im.metric,
-			Before:  im.f(before),
-			After6:  im.f(after6),
-			After12: im.f(after12),
+			Before:  vals[before],
+			After6:  vals[after6],
+			After12: vals[after12],
 		})
 	}
 	return out

@@ -34,69 +34,60 @@ func (s Scalar) Deviation() float64 {
 // PassiveScalars extracts the paper's headline passive-measurement scalars
 // from an aggregate covering the study window.
 func PassiveScalars(agg *notary.Aggregate) []Scalar {
+	return PassiveScalarsFrame(NewFrame(agg))
+}
+
+// PassiveScalarsFrame extracts the passive scalars from a frame snapshot.
+// Every lookup is a row index into a dense column.
+func PassiveScalarsFrame(f *Frame) []Scalar {
 	var out []Scalar
-	get := func(y int, m time.Month) *notary.MonthStats {
-		return agg.Stats(timeline.M(y, m))
-	}
-	pctOr := func(ms *notary.MonthStats, f func(*notary.MonthStats) float64) float64 {
-		if ms == nil {
-			return 0
+	row := func(y int, m time.Month) int {
+		if i, ok := f.Row(timeline.M(y, m)); ok {
+			return i
 		}
-		return f(ms)
+		return -1 // pctAt yields 0 for missing months
 	}
 
-	feb18 := get(2018, time.February)
-	mar18 := get(2018, time.March)
-	apr18 := get(2018, time.April)
+	feb18 := row(2018, time.February)
+	mar18 := row(2018, time.March)
+	apr18 := row(2018, time.April)
 
 	out = append(out,
 		Scalar{"S-F1a", "TLS 1.0 negotiated, Feb 2018", 2.8,
-			pctOr(feb18, func(ms *notary.MonthStats) float64 {
-				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS10])
-			}), "%"},
+			pctAt(f.Version[registry.VersionTLS10], f.Established, feb18), "%"},
 		Scalar{"S-F1b", "TLS 1.2 negotiated, Feb 2018", 90,
-			pctOr(feb18, func(ms *notary.MonthStats) float64 {
-				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS12])
-			}), "%"},
+			pctAt(f.Version[registry.VersionTLS12], f.Established, feb18), "%"},
 		Scalar{"S7a", "TLS 1.3 client support, Feb 2018", 0.5,
-			pctOr(feb18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+			pctAt(f.AdvTLS13, f.Total, feb18), "%"},
 		Scalar{"S7b", "TLS 1.3 client support, Mar 2018", 9.8,
-			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+			pctAt(f.AdvTLS13, f.Total, mar18), "%"},
 		Scalar{"S7c", "TLS 1.3 client support, Apr 2018", 23.6,
-			pctOr(apr18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvTLS13) }), "%"},
+			pctAt(f.AdvTLS13, f.Total, apr18), "%"},
 		Scalar{"S7d", "TLS 1.3 negotiated, Apr 2018", 1.3,
-			pctOr(apr18, func(ms *notary.MonthStats) float64 {
-				return ms.PctEstablished(ms.ByVersion[registry.VersionTLS13])
-			}), "%"},
+			pctAt(f.Version[registry.VersionTLS13], f.Established, apr18), "%"},
 		Scalar{"S3c", "heartbeat negotiated, 2018", 3.0,
-			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.HeartbeatAckN) }), "%"},
+			pctAt(f.HeartbeatAck, f.Total, mar18), "%"},
 		Scalar{"S-F3a", "3DES advertised, Mar 2018", 69,
-			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.Adv3DES) }), "%"},
+			pctAt(f.Adv3DES, f.Total, mar18), "%"},
 		Scalar{"S-F7a", "export advertised, 2012", 28.19,
-			pctOr(get(2012, time.June), func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvExport) }), "%"},
+			pctAt(f.AdvExport, f.Total, row(2012, time.June)), "%"},
 		Scalar{"S-F7b", "export advertised, 2018", 1.03,
-			pctOr(mar18, func(ms *notary.MonthStats) float64 { return ms.Pct(ms.AdvExport) }), "%"},
+			pctAt(f.AdvExport, f.Total, mar18), "%"},
 	)
 
 	// Whole-dataset NULL and anonymous negotiation rates (§6.1, §6.2).
-	var est, nullNeg, anonNeg int
-	for _, m := range agg.Months() {
-		ms := agg.Stats(m)
-		est += ms.Established
-		nullNeg += ms.NULLNegotiated
-		anonNeg += ms.AnonNegotiated
-	}
+	est := sumCol(f.Established)
 	if est > 0 {
 		out = append(out,
 			Scalar{"S-61", "NULL negotiated, whole dataset", 2.84,
-				100 * float64(nullNeg) / float64(est), "%"},
+				100 * float64(sumCol(f.NULLNegotiated)) / float64(est), "%"},
 			Scalar{"S-62", "anonymous negotiated, whole dataset", 0.17,
-				100 * float64(anonNeg) / float64(est), "%"},
+				100 * float64(sumCol(f.AnonNegotiated)) / float64(est), "%"},
 		)
 	}
 
 	// §6.3.3 curve shares.
-	shares := CurveSharesOverall(agg)
+	shares := CurveSharesFrame(f)
 	lookup := func(c registry.CurveID) float64 {
 		for _, s := range shares {
 			if s.Curve == c {
@@ -110,14 +101,14 @@ func PassiveScalars(agg *notary.Aggregate) []Scalar {
 		Scalar{"S6b", "secp384r1 share, whole dataset", 8.6, lookup(registry.CurveSecp384r1), "%"},
 		Scalar{"S6c", "x25519 share, whole dataset", 6.7, lookup(registry.CurveX25519), "%"},
 	)
-	if feb18 != nil {
+	if feb18 >= 0 {
 		grand := 0
-		for _, n := range feb18.ByCurve {
-			grand += n
+		for _, c := range f.Curve {
+			grand += c[feb18]
 		}
 		if grand > 0 {
 			out = append(out, Scalar{"S6d", "x25519 share, Feb 2018", 22.2,
-				100 * float64(feb18.ByCurve[registry.CurveX25519]) / float64(grand), "%"})
+				100 * float64(at(f.Curve[registry.CurveX25519], feb18)) / float64(grand), "%"})
 		}
 	}
 	return out

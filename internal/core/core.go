@@ -39,6 +39,11 @@ type Study struct {
 
 	agg *notary.Aggregate
 	db  *fingerprint.DB
+	// frame caches the columnar snapshot of agg that all figure/scalar
+	// queries evaluate against. It is rebuilt lazily whenever the
+	// aggregate's generation moves (Run, LoadLog, or any Add/Merge through
+	// the Aggregate() accessor).
+	frame *analysis.Frame
 }
 
 // NewStudy creates a study at the given per-month sample size with the
@@ -85,6 +90,7 @@ func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	}
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
+	s.frame = nil
 	return nil
 }
 
@@ -99,6 +105,7 @@ func (s *Study) LoadLog(r io.Reader) error {
 	}
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
+	s.frame = nil
 	return nil
 }
 
@@ -115,36 +122,76 @@ func (s *Study) mustAgg() (*notary.Aggregate, error) {
 	return s.agg, nil
 }
 
-// Figures builds all ten passive figures.
-func (s *Study) Figures() ([]analysis.Figure, error) {
+// Frame returns the columnar snapshot of the study's aggregate, building it
+// on first use and rebuilding it whenever the aggregate has mutated since
+// the cached snapshot (generation check). Callers may hold the returned
+// frame across further ingestion: it is immutable, and a later Frame call
+// yields a fresh snapshot.
+func (s *Study) Frame() (*analysis.Frame, error) {
 	agg, err := s.mustAgg()
 	if err != nil {
 		return nil, err
 	}
-	return analysis.AllFigures(agg), nil
+	if s.frame == nil || s.frame.Generation() != agg.Generation() {
+		s.frame = analysis.NewFrame(agg)
+	}
+	return s.frame, nil
+}
+
+// Figures builds all ten passive figures from the cached frame.
+func (s *Study) Figures() ([]analysis.Figure, error) {
+	f, err := s.Frame()
+	if err != nil {
+		return nil, err
+	}
+	return f.Figures(), nil
 }
 
 // Figure builds figure n (1–10).
 func (s *Study) Figure(n int) (analysis.Figure, error) {
-	figs, err := s.Figures()
+	f, err := s.Frame()
 	if err != nil {
 		return analysis.Figure{}, err
 	}
-	if n < 1 || n > len(figs) {
+	fig, ok := f.FigureByNum(n)
+	if !ok {
 		return analysis.Figure{}, fmt.Errorf("core: no figure %d", n)
 	}
-	return figs[n-1], nil
+	return fig, nil
+}
+
+// FigureByName builds the catalog figure with the given name (see
+// analysis.Catalog; e.g. "fingerprint-classes" or "extensions").
+func (s *Study) FigureByName(name string) (analysis.Figure, error) {
+	f, err := s.Frame()
+	if err != nil {
+		return analysis.Figure{}, err
+	}
+	fig, ok := f.FigureByName(name)
+	if !ok {
+		return analysis.Figure{}, fmt.Errorf("core: no figure named %q", name)
+	}
+	return fig, nil
 }
 
 // Scalars returns the passive and fingerprint scalar findings.
 func (s *Study) Scalars() ([]analysis.Scalar, error) {
-	agg, err := s.mustAgg()
+	f, err := s.Frame()
 	if err != nil {
 		return nil, err
 	}
-	out := analysis.PassiveScalars(agg)
-	out = append(out, analysis.FingerprintScalars(agg)...)
+	out := analysis.PassiveScalarsFrame(f)
+	out = append(out, analysis.FingerprintScalars(s.agg)...)
 	return out, nil
+}
+
+// Impacts returns the §7.4 attack-impact rows.
+func (s *Study) Impacts() ([]analysis.AttackImpact, error) {
+	f, err := s.Frame()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AttackImpactsFrame(f), nil
 }
 
 // Table2 reproduces the fingerprint summary table.
@@ -158,20 +205,16 @@ func (s *Study) Table2() (analysis.Table2Report, error) {
 
 // ExtensionFigure builds the §9 extension-uptake figure (Figure E1).
 func (s *Study) ExtensionFigure() (analysis.Figure, error) {
-	agg, err := s.mustAgg()
-	if err != nil {
-		return analysis.Figure{}, err
-	}
-	return analysis.ExtensionUptake(agg), nil
+	return s.FigureByName("extensions")
 }
 
 // TLS13Variants returns the advertised TLS 1.3 variant split (§6.4).
 func (s *Study) TLS13Variants() ([]analysis.TLS13VariantShare, error) {
-	agg, err := s.mustAgg()
+	f, err := s.Frame()
 	if err != nil {
 		return nil, err
 	}
-	return analysis.TLS13VariantShares(agg), nil
+	return analysis.TLS13VariantSharesFrame(f), nil
 }
 
 // FingerprintDurations returns the §4.1 lifetime statistics.

@@ -346,3 +346,100 @@ func TestScanSweepDeclines(t *testing.T) {
 		t.Error("sweep rendering incomplete")
 	}
 }
+
+func TestStudyFrameCache(t *testing.T) {
+	// Own study: this test mutates the aggregate, which must not leak into
+	// the shared one.
+	s := NewStudy(30)
+	s.Options.End = timeline.M(2012, time.December)
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("Frame rebuilt without any aggregate mutation")
+	}
+	// Mutating the aggregate through the public accessor must invalidate
+	// the cached snapshot (the live-ingestion read path).
+	donor := notary.NewAggregate()
+	donor.Add(&notary.Record{Date: timeline.D(2012, time.March, 3)})
+	s.Aggregate().Merge(donor)
+	f3, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 == f1 {
+		t.Error("stale frame served after aggregate mutation")
+	}
+	if f3.Generation() != s.Aggregate().Generation() {
+		t.Error("rebuilt frame lags the aggregate generation")
+	}
+	var none Study
+	if _, err := none.Frame(); err == nil {
+		t.Error("Frame before Run should error")
+	}
+}
+
+func TestStudyFigureByName(t *testing.T) {
+	s := sharedStudy(t)
+	fig, err := s.FigureByName("fingerprint-classes")
+	if err != nil || fig.ID != "Figure 4" {
+		t.Fatalf("FigureByName: %v %s", err, fig.ID)
+	}
+	ext, err := s.FigureByName("extensions")
+	if err != nil || ext.ID != "Figure E1" {
+		t.Fatalf("extensions figure: %v %s", err, ext.ID)
+	}
+	if _, err := s.FigureByName("nope"); err == nil {
+		t.Error("unknown figure name should error")
+	}
+	impacts, err := s.Impacts()
+	if err != nil || len(impacts) < 6 {
+		t.Fatalf("Impacts: %v (%d rows)", err, len(impacts))
+	}
+}
+
+// TestScanSweepParallelDeterministic pins the satellite guarantee: the
+// bounded snapshot pool must produce byte-identical sweeps for every pool
+// width, in chronological order.
+func TestScanSweepParallelDeterministic(t *testing.T) {
+	run := func(snapshotWorkers int) []SweepPoint {
+		sweep := &ScanSweep{
+			Start:            timeline.M(2016, time.February),
+			End:              timeline.M(2017, time.February),
+			StepMonths:       6,
+			HostsPerSnapshot: 60,
+			Workers:          16,
+			Seed:             21,
+			SnapshotWorkers:  snapshotWorkers,
+		}
+		points, err := sweep.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	serial := run(1)
+	parallel := run(3)
+	if len(serial) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(serial))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("snapshot %d differs between pool widths:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+	for i := 1; i < len(parallel); i++ {
+		if !parallel[i-1].Month.Before(parallel[i].Month) {
+			t.Fatal("sweep points out of chronological order")
+		}
+	}
+}

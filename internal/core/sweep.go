@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"tlsage/internal/timeline"
@@ -11,7 +14,9 @@ import (
 
 // ScanSweep runs a sequence of scan campaigns across the Censys observation
 // window (Aug 2015 – May 2018, §3.2), producing the temporal view of server
-// behaviour the paper draws its §5 server-side conclusions from.
+// behaviour the paper draws its §5 server-side conclusions from. Snapshots
+// run concurrently on a bounded pool; each snapshot seeds its own RNG from
+// the month index, so the output is identical for every pool width.
 type ScanSweep struct {
 	// Start and End bound the sweep (inclusive); defaults: Aug 2015 and
 	// May 2018.
@@ -26,6 +31,11 @@ type ScanSweep struct {
 	Timeout time.Duration
 	// PopularityWeighted selects the Alexa-style universe.
 	PopularityWeighted bool
+	// SnapshotWorkers bounds how many snapshots run concurrently; default
+	// min(4, GOMAXPROCS). Each snapshot already fans its probes out over
+	// Workers scanner goroutines and binds HostsPerSnapshot TCP listeners,
+	// so the default stays deliberately narrow.
+	SnapshotWorkers int
 }
 
 // SweepPoint is one snapshot's server-side metrics.
@@ -41,7 +51,10 @@ type SweepPoint struct {
 	ExportSupport    float64
 }
 
-// Run executes the sweep.
+// Run executes the sweep: all snapshots on a bounded worker pool, reported
+// in chronological order regardless of completion order. On failure it
+// returns the points of the snapshots that preceded the (chronologically)
+// first failing one, plus that snapshot's error.
 func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
 	if s.Start == (timeline.Month{}) {
 		s.Start = timeline.M(2015, time.August)
@@ -55,33 +68,83 @@ func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
 	if s.HostsPerSnapshot <= 0 {
 		s.HostsPerSnapshot = 150
 	}
-	var out []SweepPoint
+	var months []timeline.Month
 	for m := s.Start; !s.End.Before(m); m = m.AddMonths(s.StepMonths) {
-		campaign := &ScanCampaign{
-			Date:               m.Mid(),
-			Hosts:              s.HostsPerSnapshot,
-			Workers:            s.Workers,
-			Seed:               s.Seed + int64(m.Index()),
-			Timeout:            s.Timeout,
-			PopularityWeighted: s.PopularityWeighted,
-		}
-		rep, err := campaign.Run(ctx)
-		if err != nil {
-			return out, fmt.Errorf("core: sweep at %v: %w", m, err)
-		}
-		out = append(out, SweepPoint{
-			Month:            m,
-			SSL3Support:      rep.SSL3SupportPct(),
-			RC4Chosen:        rep.RC4ChosenPct(),
-			RC4Supported:     rep.RC4SupportPct(),
-			CBCChosen:        rep.CBCChosenPct(),
-			TDESChosen:       rep.TDESChosenPct(),
-			HeartbeatSupport: rep.HeartbeatSupportPct(),
-			Heartbleed:       rep.HeartbleedVulnerablePct(),
-			ExportSupport:    rep.ExportSupportPct(),
-		})
+		months = append(months, m)
 	}
-	return out, nil
+
+	pool := s.SnapshotWorkers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+		if pool > 4 {
+			pool = 4
+		}
+	}
+	if pool > len(months) {
+		pool = len(months)
+	}
+
+	// A failed snapshot cancels the derived context so queued and in-flight
+	// campaigns bail out instead of scanning to completion behind the error.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	points := make([]SweepPoint, len(months))
+	errs := make([]error, len(months))
+	sem := make(chan struct{}, pool)
+	var wg sync.WaitGroup
+	for i, m := range months {
+		wg.Add(1)
+		go func(i int, m timeline.Month) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			campaign := &ScanCampaign{
+				Date:               m.Mid(),
+				Hosts:              s.HostsPerSnapshot,
+				Workers:            s.Workers,
+				Seed:               s.Seed + int64(m.Index()),
+				Timeout:            s.Timeout,
+				PopularityWeighted: s.PopularityWeighted,
+			}
+			rep, err := campaign.Run(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: sweep at %v: %w", m, err)
+				cancel()
+				return
+			}
+			points[i] = SweepPoint{
+				Month:            m,
+				SSL3Support:      rep.SSL3SupportPct(),
+				RC4Chosen:        rep.RC4ChosenPct(),
+				RC4Supported:     rep.RC4SupportPct(),
+				CBCChosen:        rep.CBCChosenPct(),
+				TDESChosen:       rep.TDESChosenPct(),
+				HeartbeatSupport: rep.HeartbeatSupportPct(),
+				Heartbleed:       rep.HeartbleedVulnerablePct(),
+				ExportSupport:    rep.ExportSupportPct(),
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	for i := range months {
+		if errs[i] == nil {
+			continue
+		}
+		err := errs[i]
+		// A snapshot cancelled by another's failure is a knock-on effect;
+		// surface the root failure instead.
+		if errors.Is(err, context.Canceled) {
+			for _, e := range errs[i:] {
+				if e != nil && !errors.Is(e, context.Canceled) {
+					err = e
+					break
+				}
+			}
+		}
+		return points[:i], err
+	}
+	return points, nil
 }
 
 // RenderSweep writes the sweep as an aligned table.

@@ -98,6 +98,13 @@ type Aggregate struct {
 	// FP lifetime tracking for §4.1.
 	fpFirst, fpLast map[string]timeline.Date
 	fpConns         map[string]int64
+	// generation counts ingested records: Add increments it and Merge folds
+	// the donor's count in. Snapshot consumers compare it to detect
+	// staleness without hashing the maps; because it tracks content rather
+	// than call counts, aggregates with equal content built by any sharding
+	// of the same stream also have equal generations (the merge property
+	// tests rely on that).
+	generation uint64
 }
 
 // NewAggregate returns an empty aggregator.
@@ -123,6 +130,7 @@ func (a *Aggregate) Close() error { return nil }
 
 // Add ingests one record.
 func (a *Aggregate) Add(r *Record) {
+	a.generation++
 	m := timeline.MonthOf(r.Date)
 	ms, ok := a.months[m]
 	if !ok {
@@ -343,6 +351,7 @@ func (ms *MonthStats) merge(o *MonthStats) {
 // pipeline. other is not modified, but the receiving aggregate deep-copies
 // everything it keeps, so other may be discarded or reused freely.
 func (a *Aggregate) Merge(other *Aggregate) {
+	a.generation += other.generation
 	for m, oms := range other.months {
 		ms, ok := a.months[m]
 		if !ok {
@@ -378,6 +387,25 @@ func (a *Aggregate) Months() []timeline.Month {
 
 // Stats returns the stats for month m, or nil when unobserved.
 func (a *Aggregate) Stats(m timeline.Month) *MonthStats { return a.months[m] }
+
+// NumMonths returns the number of observed months.
+func (a *Aggregate) NumMonths() int { return len(a.months) }
+
+// Generation returns a counter that changes whenever records are ingested
+// (directly via Add or folded in via Merge). A snapshot built from the
+// aggregate can record the generation it saw and later detect that the
+// aggregate has moved on — the cheap staleness check the columnar analysis
+// frame and any future live-service mode rely on.
+func (a *Aggregate) Generation() uint64 { return a.generation }
+
+// EachMonth calls fn once per observed month in chronological order. It is
+// the snapshot-iteration API: a consumer can materialise every counter in
+// one pass without touching the aggregate's internal month map.
+func (a *Aggregate) EachMonth(fn func(*MonthStats)) {
+	for _, m := range a.Months() {
+		fn(a.months[m])
+	}
+}
 
 // TotalRecords sums Total over all months.
 func (a *Aggregate) TotalRecords() int {

@@ -1,0 +1,64 @@
+package notary
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlsage/internal/registry"
+)
+
+// TestSnapshotIteration covers the frame-builder-facing API: EachMonth
+// delivers every month exactly once in chronological order, NumMonths
+// agrees, and Generation moves on every mutation.
+func TestSnapshotIteration(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	all := registry.AllSuites()
+	a := NewAggregate()
+	if a.Generation() != 0 {
+		t.Fatalf("fresh aggregate generation = %d", a.Generation())
+	}
+	a.EachMonth(func(*MonthStats) { t.Fatal("EachMonth on empty aggregate") })
+
+	for i := 0; i < 200; i++ {
+		prev := a.Generation()
+		a.Add(randomRecord(rnd, all))
+		if a.Generation() != prev+1 {
+			t.Fatalf("Add moved generation %d → %d", prev, a.Generation())
+		}
+	}
+
+	var seen []*MonthStats
+	a.EachMonth(func(ms *MonthStats) { seen = append(seen, ms) })
+	if len(seen) != a.NumMonths() {
+		t.Fatalf("EachMonth visited %d months, NumMonths = %d", len(seen), a.NumMonths())
+	}
+	months := a.Months()
+	for i, ms := range seen {
+		if ms.Month != months[i] {
+			t.Fatalf("EachMonth order: position %d is %v, want %v", i, ms.Month, months[i])
+		}
+		if ms != a.Stats(ms.Month) {
+			t.Fatalf("EachMonth delivered a copy for %v", ms.Month)
+		}
+	}
+
+	// Merging an empty aggregate changes no content, so the generation
+	// stays put; merging real records folds the donor's count in.
+	prev := a.Generation()
+	a.Merge(NewAggregate())
+	if a.Generation() != prev {
+		t.Fatalf("empty merge moved the generation (%d → %d)", prev, a.Generation())
+	}
+	donor := NewAggregate()
+	for i := 0; i < 7; i++ {
+		donor.Add(randomRecord(rnd, all))
+	}
+	a.Merge(donor)
+	if a.Generation() != prev+7 {
+		t.Fatalf("merge generation = %d, want %d", a.Generation(), prev+7)
+	}
+	// Equal content built by different sharding has equal generations.
+	if a.Generation() != uint64(a.TotalRecords()) {
+		t.Fatalf("generation %d != total records %d", a.Generation(), a.TotalRecords())
+	}
+}
