@@ -6,6 +6,8 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log]           live notary service: TSV ingest + JSON query endpoints
+//	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N]  stream a log or a live simulation into a server
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
 //	tlstrend metrics                                           list the figure catalog (no simulation)
@@ -20,15 +22,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"tlsage/internal/analysis"
 	"tlsage/internal/core"
+	"tlsage/internal/notary"
+	"tlsage/internal/service"
+	"tlsage/internal/simulate"
 	"tlsage/internal/timeline"
 )
 
@@ -44,6 +55,10 @@ func main() {
 		err = cmdSimulate(args)
 	case "loadlog":
 		err = cmdLoadLog(args)
+	case "serve":
+		err = cmdServe(args)
+	case "feed":
+		err = cmdFeed(args)
 	case "figure":
 		err = cmdFigure(args)
 	case "figures":
@@ -83,6 +98,8 @@ func usage() {
 commands:
   simulate      run the passive Notary study (optionally write a TSV log)
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
+  serve         run the live notary service: ingest TSV streams, serve JSON queries
+  feed          stream a TSV log or a live simulation into a running server
   figure        print one catalog figure (-n 1–10 or -name) as a table or ASCII chart
   figures       print every figure
   metrics       list the declarative figure catalog (ids, names, series)
@@ -107,11 +124,15 @@ func runStudy(conns int, seed int64, workers int, logPath string) (*core.Study, 
 		if err != nil {
 			return nil, err
 		}
-		defer out.Close()
 	}
 	start := time.Now()
 	if out != nil {
 		err = s.Run(out)
+		// A full disk surfaces at Close (the log is buffered); reporting
+		// success with a truncated log would be a silent data loss.
+		if cerr := out.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing %s: %w", logPath, cerr)
+		}
 	} else {
 		err = s.Run(nil)
 	}
@@ -156,12 +177,15 @@ func cmdLoadLog(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	var s core.Study
 	s.Options.Workers = *workers
 	start := time.Now()
-	if err := s.LoadLog(f); err != nil {
-		return err
+	loadErr := s.LoadLog(f)
+	if cerr := f.Close(); cerr != nil && loadErr == nil {
+		loadErr = fmt.Errorf("closing %s: %w", *in, cerr)
+	}
+	if loadErr != nil {
+		return loadErr
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d records from %s in %v\n",
 		s.Aggregate().TotalRecords(), *in, time.Since(start).Round(time.Millisecond))
@@ -184,6 +208,187 @@ func cmdLoadLog(args []string) error {
 		return err
 	}
 	return analysis.RenderScalars(os.Stdout, "Post-hoc log analysis (paper vs measured)", scalars)
+}
+
+// cmdServe runs the live notary service: a hot, initially empty study that
+// ingests TSV record streams (HTTP POST /ingest, optionally raw TCP) and
+// answers figure/scalar queries as JSON while ingestion continues.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP listen address (ingest + query)")
+	tcpAddr := fs.String("tcp", "", "optional raw-TCP TSV ingest listen address")
+	outPath := fs.String("out", "", "tee every ingested record to this TSV log")
+	flush := fs.Int("flush", 0, "records per ingest shard before merging (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []service.Option{service.WithFlushEvery(*flush)}
+	var logFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		logFile = f
+		opts = append(opts, service.WithLogSink(notary.NewLogWriter(f)))
+	}
+	srv := service.NewServer(core.NewLiveStudy(), opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 2)
+	go func() {
+		if err := hs.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serving ingest + queries on http://%s\n", httpLn.Addr())
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			hs.Close()
+			return err
+		}
+		go func() {
+			if err := srv.ServeTCP(ln); err != nil {
+				errc <- err
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "raw TSV ingest on tcp://%s\n", ln.Addr())
+	}
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "shutting down")
+	case runErr = <-errc:
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	// srv.Close stops the TCP listeners and flushes the teed log writer;
+	// the file close can still fail on a full disk, so it is checked too.
+	if err := srv.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("closing %s: %w", *outPath, err)
+		}
+	}
+	if records, months, gen, err := srv.Study().Counts(); err == nil {
+		fmt.Fprintf(os.Stderr, "final state: %d records over %d months (generation %d)\n",
+			records, months, gen)
+	}
+	return runErr
+}
+
+// cmdFeed streams records into a running serve instance: either a replay of
+// a TSV connection log or a live simulation encoded on the fly.
+func cmdFeed(args []string) error {
+	fs := flag.NewFlagSet("feed", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL (HTTP ingest)")
+	tcpAddr := fs.String("tcp", "", "stream over raw TCP to this address instead of HTTP")
+	in := fs.String("in", "", "TSV connection log to replay (empty = simulate live)")
+	conns := fs.Int("conns", 1000, "connections per month when simulating")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var body io.Reader
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		body = f
+	} else {
+		// Live replay: the simulator streams TSV straight into the request
+		// body, so the feeder holds no more than the pipe's buffer.
+		opts := simulate.DefaultOptions(*conns)
+		opts.Seed = *seed
+		opts.Workers = *workers
+		pr, pw := io.Pipe()
+		go func() {
+			lw := notary.NewLogWriter(pw)
+			err := simulate.New(opts).Run(lw)
+			if err == nil {
+				err = lw.Close()
+			}
+			pw.CloseWithError(err)
+		}()
+		body = pr
+	}
+
+	start := time.Now()
+	if *tcpAddr != "" {
+		return feedTCP(*tcpAddr, body, start)
+	}
+	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/ingest", "text/tab-separated-values", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return fmt.Errorf("feed: reading server reply: %w", err)
+	}
+	var reply struct {
+		Records    int    `json:"records"`
+		Generation uint64 `json:"generation"`
+		Error      string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		// Not a tlstrend serve reply (wrong port, proxy error page, ...):
+		// report the status line and what came back rather than a JSON error.
+		return fmt.Errorf("feed: server replied %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("feed: server rejected stream after %d records: %s", reply.Records, reply.Error)
+	}
+	fmt.Fprintf(os.Stderr, "fed %d records in %v (server generation %d)\n",
+		reply.Records, time.Since(start).Round(time.Millisecond), reply.Generation)
+	return nil
+}
+
+// feedTCP streams body over a raw TCP connection and reports the server's
+// one-line status reply.
+func feedTCP(addr string, body io.Reader, start time.Time) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// A server that hits a malformed line stops reading mid-stream, which can
+	// fail this copy — still try to collect the status line, which names the
+	// bad line, before falling back to the transport error.
+	_, copyErr := io.Copy(conn, body)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	reply, _ := io.ReadAll(conn)
+	line := strings.TrimSpace(string(reply))
+	if line == "" && copyErr != nil {
+		return fmt.Errorf("feed: streaming to %s: %w", addr, copyErr)
+	}
+	if !strings.HasPrefix(line, "ok ") {
+		return fmt.Errorf("feed: %s", line)
+	}
+	fmt.Fprintf(os.Stderr, "fed stream in %v (server said %q)\n",
+		time.Since(start).Round(time.Millisecond), line)
+	return nil
 }
 
 func cmdFigure(args []string) error {

@@ -1,0 +1,72 @@
+package analysis
+
+import "encoding/json"
+
+// JSON marshalling for the query-service wire format. The shapes are
+// deliberately flat and lowercase so the endpoints are pleasant to consume
+// with curl/jq; months render as "YYYY-MM", dates as "YYYY-MM-DD".
+
+// MarshalJSON renders a point as {"month":"2018-02","value":12.3}.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Month string  `json:"month"`
+		Value float64 `json:"value"`
+	}{p.Month.String(), p.Value})
+}
+
+// MarshalJSON renders a series as its name plus monthly points.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name   string  `json:"name"`
+		Points []Point `json:"points"`
+	}{s.Name, s.Points})
+}
+
+// figureEventJSON is the wire shape of one attack-event marker.
+type figureEventJSON struct {
+	Name string `json:"name"`
+	Date string `json:"date"`
+}
+
+// MarshalJSON renders a figure with its series and event markers.
+func (f Figure) MarshalJSON() ([]byte, error) {
+	events := make([]figureEventJSON, 0, len(f.Events))
+	for _, e := range f.Events {
+		events = append(events, figureEventJSON{Name: e.Name, Date: e.Date.String()})
+	}
+	return json.Marshal(struct {
+		ID     string            `json:"id"`
+		Title  string            `json:"title"`
+		Series []Series          `json:"series"`
+		Events []figureEventJSON `json:"events"`
+	}{f.ID, f.Title, f.Series, events})
+}
+
+// MarshalJSON renders a scalar row including its derived deviation.
+func (s Scalar) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID        string  `json:"id"`
+		Name      string  `json:"name"`
+		Paper     float64 `json:"paper"`
+		Measured  float64 `json:"measured"`
+		Deviation float64 `json:"deviation"`
+		Unit      string  `json:"unit"`
+	}{s.ID, s.Name, s.Paper, s.Measured, s.Deviation(), s.Unit})
+}
+
+// MarshalJSON renders a catalog entry as metadata: the metric evaluators are
+// functions, so only the series names travel.
+func (s FigureSpec) MarshalJSON() ([]byte, error) {
+	series := make([]string, 0, len(s.Metrics))
+	for _, m := range s.Metrics {
+		series = append(series, m.Name)
+	}
+	return json.Marshal(struct {
+		Num    int      `json:"num"`
+		ID     string   `json:"id"`
+		Name   string   `json:"name"`
+		Title  string   `json:"title"`
+		Series []string `json:"series"`
+		Events []string `json:"events,omitempty"`
+	}{s.Num, s.ID, s.Name, s.Title, series, s.Events})
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsage/internal/timeline"
+)
+
+func TestFigureJSONShape(t *testing.T) {
+	fig := Figure{
+		ID:    "Figure 1",
+		Title: "Versions",
+		Series: []Series{{
+			Name: "TLSv12",
+			Points: []Point{
+				{Month: timeline.M(2018, time.February), Value: 90.25},
+			},
+		}},
+		Events: attackEvents(timeline.EventPOODLE),
+	}
+	b, err := json.Marshal(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				Month string  `json:"month"`
+				Value float64 `json:"value"`
+			} `json:"points"`
+		} `json:"series"`
+		Events []struct {
+			Name string `json:"name"`
+			Date string `json:"date"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "Figure 1" || decoded.Title != "Versions" {
+		t.Errorf("figure header: %+v", decoded)
+	}
+	if len(decoded.Series) != 1 || decoded.Series[0].Name != "TLSv12" {
+		t.Fatalf("series: %+v", decoded.Series)
+	}
+	p := decoded.Series[0].Points[0]
+	if p.Month != "2018-02" || p.Value != 90.25 {
+		t.Errorf("point = %+v, want 2018-02 / 90.25", p)
+	}
+	if len(decoded.Events) != 1 || decoded.Events[0].Name != timeline.EventPOODLE ||
+		!strings.HasPrefix(decoded.Events[0].Date, "2014-10") {
+		t.Errorf("events: %+v", decoded.Events)
+	}
+}
+
+func TestScalarJSONIncludesDeviation(t *testing.T) {
+	b, err := json.Marshal(Scalar{ID: "S7a", Name: "x", Paper: 0.5, Measured: 0.75, Unit: "%"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["id"] != "S7a" || decoded["unit"] != "%" {
+		t.Errorf("scalar json: %v", decoded)
+	}
+	if dev, ok := decoded["deviation"].(float64); !ok || dev != 0.25 {
+		t.Errorf("deviation = %v, want 0.25", decoded["deviation"])
+	}
+}
+
+func TestFigureSpecJSONCarriesSeriesNames(t *testing.T) {
+	spec, ok := SpecByName("negotiated-classes")
+	if !ok {
+		t.Fatal("missing catalog entry")
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Num    int      `json:"num"`
+		Name   string   `json:"name"`
+		Series []string `json:"series"`
+		Events []string `json:"events"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Num != 2 || decoded.Name != "negotiated-classes" {
+		t.Errorf("spec header: %+v", decoded)
+	}
+	want := []string{"AEAD", "CBC", "RC4"}
+	if len(decoded.Series) != len(want) {
+		t.Fatalf("series: %v", decoded.Series)
+	}
+	for i, s := range want {
+		if decoded.Series[i] != s {
+			t.Errorf("series[%d] = %q, want %q", i, decoded.Series[i], s)
+		}
+	}
+	if len(decoded.Events) == 0 {
+		t.Error("catalog events missing from json")
+	}
+	// The whole catalog must marshal (the service /metrics endpoint).
+	if _, err := json.Marshal(Catalog()); err != nil {
+		t.Fatalf("catalog marshal: %v", err)
+	}
+}

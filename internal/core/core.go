@@ -37,12 +37,21 @@ import (
 type Study struct {
 	Options simulate.Options
 
+	// mu guards agg and db against live ingestion: IngestSink and
+	// MergeShard take it exclusively per delivery, readers (Frame, Counts)
+	// share it. Batch callers that mutate the aggregate directly through
+	// Aggregate() stay single-goroutine and never contend.
+	mu  sync.RWMutex
 	agg *notary.Aggregate
 	db  *fingerprint.DB
+	// frameMu guards the frame cache below; it is separate from mu so
+	// concurrent readers can settle who rebuilds without writing under a
+	// shared read lock.
+	frameMu sync.Mutex
 	// frame caches the columnar snapshot of agg that all figure/scalar
 	// queries evaluate against. It is rebuilt lazily whenever the
-	// aggregate's generation moves (Run, LoadLog, or any Add/Merge through
-	// the Aggregate() accessor).
+	// aggregate's generation moves (Run, LoadLog, live ingestion, or any
+	// Add/Merge through the Aggregate() accessor).
 	frame *analysis.Frame
 }
 
@@ -50,6 +59,18 @@ type Study struct {
 // default seed and full window.
 func NewStudy(connsPerMonth int) *Study {
 	return &Study{Options: simulate.DefaultOptions(connsPerMonth)}
+}
+
+// NewLiveStudy creates an empty study ready for live ingestion: the
+// aggregate exists (so Frame and every query answer immediately, over zero
+// months) and records arrive through IngestSink or MergeShard instead of
+// Run. This is the service-mode constructor — the same aggregate that
+// answers queries keeps ingesting.
+func NewLiveStudy() *Study {
+	return &Study{
+		agg: notary.NewAggregate(),
+		db:  fingerprint.BuildDefault(),
+	}
 }
 
 // Run executes the simulation and aggregation. When logWriter is non-nil
@@ -62,35 +83,34 @@ func (s *Study) Run(logWriter io.Writer) error {
 
 // RunSinks is Run with additional record consumers: every simulated record
 // is delivered to the study's aggregate, the optional TSV log, and each
-// extra sink (in that order). The extra sinks are closed on success —
-// that is the attachment point for long-running consumers.
+// extra sink (in that order) — the attachment point for long-running
+// consumers. Every sink is closed on every exit path, including a failed
+// simulation, so attached consumers are always flushed and detached; a
+// simulation error takes precedence over close errors, and among close
+// errors the first wins.
 func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	sim := simulate.New(s.Options)
 	agg := notary.NewAggregate()
 	sinks := make([]notary.Sink, 0, 2+len(extra))
 	sinks = append(sinks, agg)
-	var lw *notary.LogWriter
 	if logWriter != nil {
-		lw = notary.NewLogWriter(logWriter)
-		sinks = append(sinks, lw)
+		sinks = append(sinks, notary.NewLogWriter(logWriter))
 	}
 	sinks = append(sinks, extra...)
-	if err := sim.Run(notary.Tee(sinks...)); err != nil {
-		return err
+	tee := notary.Tee(sinks...)
+	runErr := sim.Run(tee)
+	closeErr := tee.Close() // best effort: closes every sink, first error wins
+	if runErr != nil {
+		return runErr
 	}
-	if lw != nil {
-		if err := lw.Close(); err != nil {
-			return err
-		}
+	if closeErr != nil {
+		return closeErr
 	}
-	for _, e := range extra {
-		if err := e.Close(); err != nil {
-			return err
-		}
-	}
+	s.mu.Lock()
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
-	s.frame = nil
+	s.mu.Unlock()
+	s.invalidateFrame()
 	return nil
 }
 
@@ -103,37 +123,105 @@ func (s *Study) LoadLog(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
-	s.frame = nil
+	s.mu.Unlock()
+	s.invalidateFrame()
 	return nil
 }
 
-// Aggregate exposes the raw monthly statistics; nil before Run.
+// invalidateFrame drops the cached snapshot so the next Frame call rebuilds.
+func (s *Study) invalidateFrame() {
+	s.frameMu.Lock()
+	s.frame = nil
+	s.frameMu.Unlock()
+}
+
+// IngestSink returns a concurrency-safe sink feeding the study's live
+// aggregate: every Observe takes the study's write lock, so any number of
+// producers may deliver concurrently while readers pull Frame snapshots.
+// Close is a no-op — the study outlives its producers. The usual Sink
+// contract applies: records are only valid for the duration of Observe.
+func (s *Study) IngestSink() notary.Sink {
+	return ingestSink{s}
+}
+
+// ingestSink is the Sink view of a live study.
+type ingestSink struct{ s *Study }
+
+func (is ingestSink) Observe(r *notary.Record) error {
+	is.s.mu.Lock()
+	defer is.s.mu.Unlock()
+	if is.s.agg == nil {
+		return fmt.Errorf("core: study has no aggregate (use NewLiveStudy or Run first)")
+	}
+	is.s.agg.Add(r)
+	return nil
+}
+
+func (is ingestSink) Close() error { return nil }
+
+// MergeShard folds a privately accumulated aggregate into the live study in
+// one locked operation — the batched ingestion path: a network stream parses
+// into its own shard (no contention) and merges every few thousand records,
+// reusing Aggregate.Merge. The shard is not modified and may be reused.
+func (s *Study) MergeShard(shard *notary.Aggregate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.agg == nil {
+		return fmt.Errorf("core: study has no aggregate (use NewLiveStudy or Run first)")
+	}
+	s.agg.Merge(shard)
+	return nil
+}
+
+// Counts reports the live aggregate's record count, observed month count and
+// generation in one consistent read — the health-endpoint view. The
+// generation is monotonic under IngestSink/MergeShard ingestion.
+func (s *Study) Counts() (records, months int, generation uint64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.agg == nil {
+		return 0, 0, 0, fmt.Errorf("core: study has not been run")
+	}
+	return s.agg.TotalRecords(), s.agg.NumMonths(), s.agg.Generation(), nil
+}
+
+// Aggregate exposes the raw monthly statistics; nil before Run. Direct
+// mutation through this accessor is a batch-mode convenience — concurrent
+// producers must deliver through IngestSink or MergeShard instead.
 func (s *Study) Aggregate() *notary.Aggregate { return s.agg }
 
 // FingerprintDB exposes the §4 fingerprint database; nil before Run.
 func (s *Study) FingerprintDB() *fingerprint.DB { return s.db }
-
-func (s *Study) mustAgg() (*notary.Aggregate, error) {
-	if s.agg == nil {
-		return nil, fmt.Errorf("core: study has not been run")
-	}
-	return s.agg, nil
-}
 
 // Frame returns the columnar snapshot of the study's aggregate, building it
 // on first use and rebuilding it whenever the aggregate has mutated since
 // the cached snapshot (generation check). Callers may hold the returned
 // frame across further ingestion: it is immutable, and a later Frame call
 // yields a fresh snapshot.
+//
+// Frame is safe for concurrent readers, including while producers deliver
+// through IngestSink or MergeShard: the aggregate is read under the shared
+// lock (excluding writers for the duration of a rebuild) and the cache slot
+// has its own mutex, so every reader gets a self-consistent snapshot and
+// ingestion never observes a torn frame.
 func (s *Study) Frame() (*analysis.Frame, error) {
-	agg, err := s.mustAgg()
-	if err != nil {
-		return nil, err
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.frameLocked()
+}
+
+// frameLocked is Frame's body; callers hold s.mu (read or write).
+func (s *Study) frameLocked() (*analysis.Frame, error) {
+	if s.agg == nil {
+		return nil, fmt.Errorf("core: study has not been run")
 	}
-	if s.frame == nil || s.frame.Generation() != agg.Generation() {
-		s.frame = analysis.NewFrame(agg)
+	s.frameMu.Lock()
+	defer s.frameMu.Unlock()
+	if s.frame == nil || s.frame.Generation() != s.agg.Generation() {
+		s.frame = analysis.NewFrame(s.agg)
 	}
 	return s.frame, nil
 }
@@ -174,15 +262,18 @@ func (s *Study) FigureByName(name string) (analysis.Figure, error) {
 	return fig, nil
 }
 
-// Scalars returns the passive and fingerprint scalar findings.
+// Scalars returns the passive and fingerprint scalar findings. Both halves
+// are computed under one shared lock acquisition, so a live report never
+// mixes two generations.
 func (s *Study) Scalars() ([]analysis.Scalar, error) {
-	f, err := s.Frame()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.frameLocked()
 	if err != nil {
 		return nil, err
 	}
 	out := analysis.PassiveScalarsFrame(f)
-	out = append(out, analysis.FingerprintScalars(s.agg)...)
-	return out, nil
+	return append(out, analysis.FingerprintScalars(s.agg)...), nil
 }
 
 // Impacts returns the §7.4 attack-impact rows.
@@ -196,11 +287,12 @@ func (s *Study) Impacts() ([]analysis.AttackImpact, error) {
 
 // Table2 reproduces the fingerprint summary table.
 func (s *Study) Table2() (analysis.Table2Report, error) {
-	agg, err := s.mustAgg()
-	if err != nil {
-		return analysis.Table2Report{}, err
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.agg == nil {
+		return analysis.Table2Report{}, fmt.Errorf("core: study has not been run")
 	}
-	return analysis.BuildTable2(agg, s.db), nil
+	return analysis.BuildTable2(s.agg, s.db), nil
 }
 
 // ExtensionFigure builds the §9 extension-uptake figure (Figure E1).
@@ -219,11 +311,12 @@ func (s *Study) TLS13Variants() ([]analysis.TLS13VariantShare, error) {
 
 // FingerprintDurations returns the §4.1 lifetime statistics.
 func (s *Study) FingerprintDurations() (fingerprint.DurationStats, error) {
-	agg, err := s.mustAgg()
-	if err != nil {
-		return fingerprint.DurationStats{}, err
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.agg == nil {
+		return fingerprint.DurationStats{}, fmt.Errorf("core: study has not been run")
 	}
-	return fingerprint.ComputeDurationStats(agg.FPDurations()), nil
+	return fingerprint.ComputeDurationStats(s.agg.FPDurations()), nil
 }
 
 // Static table reproductions (no simulation needed).
@@ -337,16 +430,22 @@ func (r *CampaignReport) RC4SupportPct() float64 {
 	return r.Frac(r.Probes["rc4only"].Answered)
 }
 
-// Run executes the campaign.
+// Run executes the campaign. Defaults for Hosts, Workers and Timeout are
+// resolved into locals — the receiver is never written, so one campaign
+// value can be reused across dates without its configuration silently
+// pinning to the first run's defaults.
 func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
-	if c.Hosts <= 0 {
-		c.Hosts = 200
+	hosts := c.Hosts
+	if hosts <= 0 {
+		hosts = 200
 	}
-	if c.Workers <= 0 {
-		c.Workers = 16
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 16
 	}
-	if c.Timeout <= 0 {
-		c.Timeout = 3 * time.Second
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 3 * time.Second
 	}
 	rnd := rand.New(rand.NewSource(c.Seed))
 	servers := population.DefaultServers()
@@ -355,10 +454,10 @@ func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
 		universe = population.ByTraffic
 	}
 
-	configs := make([]*handshake.ServerConfig, c.Hosts)
-	cohorts := make([]string, c.Hosts)
+	configs := make([]*handshake.ServerConfig, hosts)
+	cohorts := make([]string, hosts)
 	groundTruth := 0
-	for i := 0; i < c.Hosts; i++ {
+	for i := 0; i < hosts; i++ {
 		cohort, cfg := servers.Sample(c.Date, universe, rnd)
 		configs[i] = cfg
 		cohorts[i] = cohort.Name
@@ -366,7 +465,7 @@ func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
 			groundTruth++
 		}
 	}
-	farm, err := serverfarm.StartFarm(configs, cohorts, c.Timeout)
+	farm, err := serverfarm.StartFarm(configs, cohorts, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -374,12 +473,12 @@ func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
 
 	report := &CampaignReport{
 		Date:                  c.Date,
-		Hosts:                 c.Hosts,
+		Hosts:                 hosts,
 		Probes:                make(map[string]scanner.Summary),
 		GroundTruthVulnerable: groundTruth,
 	}
-	sc := scanner.New(c.Workers)
-	sc.Timeout = c.Timeout
+	sc := scanner.New(workers)
+	sc.Timeout = timeout
 	// Probes are independent against the farm, so they run concurrently on a
 	// bounded pool. Hellos are pre-built serially from the shared RNG so the
 	// draw sequence — and with it the report — stays deterministic; the
@@ -435,7 +534,7 @@ func (c *ScanCampaign) Run(ctx context.Context) (*CampaignReport, error) {
 }
 
 // ScanScalars compares two campaign snapshots against the paper's Censys
-// numbers (experiments S1–S4).
+// numbers (experiments S1–S4). Rows are emitted in experiment-ID order.
 func ScanScalars(sep2015, may2018 *CampaignReport) []analysis.Scalar {
 	return []analysis.Scalar{
 		{ID: "S1a", Name: "SSL3 server support, Sep 2015", Paper: 45, Measured: sep2015.SSL3SupportPct(), Unit: "%"},
@@ -443,11 +542,11 @@ func ScanScalars(sep2015, may2018 *CampaignReport) []analysis.Scalar {
 		{ID: "S2a", Name: "servers choosing RC4, Sep 2015", Paper: 11.2, Measured: sep2015.RC4ChosenPct(), Unit: "%"},
 		{ID: "S2b", Name: "servers choosing RC4, May 2018", Paper: 3.4, Measured: may2018.RC4ChosenPct(), Unit: "%"},
 		{ID: "S2c", Name: "servers choosing CBC, Sep 2015", Paper: 54, Measured: sep2015.CBCChosenPct(), Unit: "%"},
-		{ID: "S2e", Name: "RC4 supported (SSL Pulse), May 2018", Paper: 19.1, Measured: may2018.RC4SupportPct(), Unit: "%"},
 		{ID: "S2d", Name: "servers choosing CBC, May 2018", Paper: 35, Measured: may2018.CBCChosenPct(), Unit: "%"},
+		{ID: "S2e", Name: "RC4 supported (SSL Pulse), May 2018", Paper: 19.1, Measured: may2018.RC4SupportPct(), Unit: "%"},
 		{ID: "S3a", Name: "heartbeat support, May 2018", Paper: 34, Measured: may2018.HeartbeatSupportPct(), Unit: "%"},
 		{ID: "S3b", Name: "Heartbleed vulnerable, May 2018", Paper: 0.32, Measured: may2018.HeartbleedVulnerablePct(), Unit: "%"},
-		{ID: "S4a", Name: "servers choosing 3DES, Aug 2015", Paper: 0.54, Measured: sep2015.TDESChosenPct(), Unit: "%"},
+		{ID: "S4a", Name: "servers choosing 3DES, Sep 2015", Paper: 0.54, Measured: sep2015.TDESChosenPct(), Unit: "%"},
 		{ID: "S4b", Name: "servers choosing 3DES, May 2018", Paper: 0.25, Measured: may2018.TDESChosenPct(), Unit: "%"},
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 
 	"tlsage/internal/notary"
 	"tlsage/internal/registry"
+	"tlsage/internal/scanner"
 	"tlsage/internal/timeline"
 )
 
@@ -441,5 +443,224 @@ func TestScanSweepParallelDeterministic(t *testing.T) {
 		if !parallel[i-1].Month.Before(parallel[i].Month) {
 			t.Fatal("sweep points out of chronological order")
 		}
+	}
+}
+
+// closeTracker is a sink that records deliveries and closes, optionally
+// failing at the Nth record — the failing-simulation probe for RunSinks'
+// lifecycle guarantees.
+type closeTracker struct {
+	seen      int
+	closed    int
+	failAfter int // fail Observe once seen reaches this (0 = never)
+	closeErr  error
+}
+
+func (c *closeTracker) Observe(r *notary.Record) error {
+	c.seen++
+	if c.failAfter > 0 && c.seen >= c.failAfter {
+		return errors.New("injected sink failure")
+	}
+	return nil
+}
+
+func (c *closeTracker) Close() error { c.closed++; return c.closeErr }
+
+// TestRunSinksClosesEverythingOnFailure pins the lifecycle fix: when the
+// simulation fails mid-run, the TSV log writer and every extra sink must
+// still be closed (flushed and detached), and the simulation error wins.
+func TestRunSinksClosesEverythingOnFailure(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStudy(10)
+	s.Options.End = timeline.M(2012, time.April)
+	failer := &closeTracker{failAfter: 5}
+	bystander := &closeTracker{}
+	err := s.RunSinks(&buf, failer, bystander)
+	if err == nil || !strings.Contains(err.Error(), "injected sink failure") {
+		t.Fatalf("RunSinks error = %v, want the injected failure", err)
+	}
+	if failer.closed != 1 || bystander.closed != 1 {
+		t.Errorf("sinks closed (%d, %d) times on failure, want (1, 1)",
+			failer.closed, bystander.closed)
+	}
+	if buf.Len() == 0 {
+		t.Error("log writer was not flushed on the failure path")
+	}
+	if s.Aggregate() != nil {
+		t.Error("failed run must not install a partial aggregate")
+	}
+
+	// On a successful run a sink's close error is reported (first one wins),
+	// and every sink still closes exactly once.
+	s2 := NewStudy(5)
+	s2.Options.End = timeline.M(2012, time.March)
+	badClose := &closeTracker{closeErr: errors.New("close failed")}
+	tail := &closeTracker{}
+	err = s2.RunSinks(nil, badClose, tail)
+	if err == nil || !strings.Contains(err.Error(), "close failed") {
+		t.Fatalf("RunSinks close error = %v, want propagation", err)
+	}
+	if badClose.closed != 1 || tail.closed != 1 {
+		t.Errorf("sinks closed (%d, %d) times, want (1, 1)", badClose.closed, tail.closed)
+	}
+	if badClose.seen == 0 || badClose.seen != tail.seen {
+		t.Errorf("sinks saw (%d, %d) records", badClose.seen, tail.seen)
+	}
+}
+
+// TestScanCampaignReceiverUnchanged pins the reuse fix: Run must resolve
+// defaults into locals, leaving a zero-valued campaign byte-identical so one
+// value can be reused across dates.
+func TestScanCampaignReceiverUnchanged(t *testing.T) {
+	c := &ScanCampaign{Date: timeline.D(2018, time.May, 13), Hosts: 60, Seed: 9}
+	before := *c
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if *c != before {
+		t.Errorf("Run mutated its receiver:\nbefore: %+v\nafter:  %+v", before, *c)
+	}
+	if c.Workers != 0 || c.Timeout != 0 {
+		t.Error("defaults written back into the campaign struct")
+	}
+}
+
+// TestScanScalarsOrderAndLabels pins the row order (experiment-ID order,
+// S2d before S2e) and the corrected S4a label: it measures the Sep 2015
+// campaign and must say so.
+func TestScanScalarsOrderAndLabels(t *testing.T) {
+	sep := &CampaignReport{Date: timeline.D(2015, time.September, 15), Probes: map[string]scanner.Summary{}}
+	may := &CampaignReport{Date: timeline.D(2018, time.May, 13), Probes: map[string]scanner.Summary{}}
+	scalars := ScanScalars(sep, may)
+	wantIDs := []string{"S1a", "S1b", "S2a", "S2b", "S2c", "S2d", "S2e", "S3a", "S3b", "S4a", "S4b"}
+	if len(scalars) != len(wantIDs) {
+		t.Fatalf("%d scalars, want %d", len(scalars), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if scalars[i].ID != want {
+			t.Errorf("row %d: ID %s, want %s", i, scalars[i].ID, want)
+		}
+	}
+	for _, s := range scalars {
+		if strings.Contains(s.Name, "Aug 2015") {
+			t.Errorf("%s still labeled Aug 2015: %q", s.ID, s.Name)
+		}
+	}
+	s4a := scalars[9]
+	if s4a.ID != "S4a" || !strings.Contains(s4a.Name, "Sep 2015") {
+		t.Errorf("S4a label = %q, want a Sep 2015 label", s4a.Name)
+	}
+}
+
+// TestStudyConcurrentIngestAndFrame hammers the live-ingest write path
+// (IngestSink and MergeShard) while readers pull Frame snapshots and Counts
+// — run under -race. Every observed generation must be monotonic and every
+// frame self-consistent: the aggregate's generation counts records, so a
+// frame's Total column must sum to exactly its generation.
+func TestStudyConcurrentIngestAndFrame(t *testing.T) {
+	const producers = 4
+	const perProducer = 400
+	const shardEvery = 64
+
+	s := NewLiveStudy()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sink := s.IngestSink()
+			shard := notary.NewAggregate()
+			for i := 0; i < perProducer; i++ {
+				rec := &notary.Record{
+					Date:         timeline.D(2012+i%3, time.Month(1+i%12), 1+i%27),
+					Established:  i%2 == 0,
+					ClientSuites: []uint16{0x002f},
+				}
+				// Odd producers batch through MergeShard, even producers
+				// deliver record-at-a-time through the safe sink.
+				if p%2 == 1 {
+					shard.Add(rec)
+					if shard.TotalRecords() >= shardEvery {
+						if err := s.MergeShard(shard); err != nil {
+							t.Errorf("merge: %v", err)
+							return
+						}
+						shard = notary.NewAggregate()
+					}
+				} else if err := sink.Observe(rec); err != nil {
+					t.Errorf("observe: %v", err)
+					return
+				}
+			}
+			if shard.TotalRecords() > 0 {
+				if err := s.MergeShard(shard); err != nil {
+					t.Errorf("final merge: %v", err)
+				}
+			}
+		}(p)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f, err := s.Frame()
+				if err != nil {
+					t.Errorf("frame: %v", err)
+					return
+				}
+				total := 0
+				for i := range f.Months {
+					total += f.Total[i]
+				}
+				if uint64(total) != f.Generation() {
+					t.Errorf("torn frame: %d records at generation %d", total, f.Generation())
+					return
+				}
+				if len(f.Established) != f.Len() || len(f.AdvRC4) != f.Len() {
+					t.Errorf("frame columns misaligned with month axis")
+					return
+				}
+				_, _, gen, err := s.Counts()
+				if err != nil {
+					t.Errorf("counts: %v", err)
+					return
+				}
+				if gen < lastGen {
+					t.Errorf("generation moved backwards: %d after %d", gen, lastGen)
+					return
+				}
+				lastGen = gen
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	records, _, gen, err := s.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := producers * perProducer
+	if records != want || gen != uint64(want) {
+		t.Fatalf("final state: %d records at generation %d, want %d", records, gen, want)
+	}
+	f, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Generation() != uint64(want) {
+		t.Errorf("final frame generation %d, want %d", f.Generation(), want)
 	}
 }

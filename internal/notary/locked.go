@@ -1,0 +1,52 @@
+package notary
+
+import "sync"
+
+// LockedSink wraps a Sink so that any number of goroutines may deliver
+// records into it concurrently. The wrapped sink keeps its single-goroutine
+// Observe contract — the lock serializes deliveries — which makes stateful
+// sinks like *Aggregate and *LogWriter safe behind multiple producers (the
+// live-service ingest path, or several TCP streams teeing into one log).
+//
+// Close also takes the lock, so a Close never interleaves with an in-flight
+// Observe. Closing does not poison the sink; serialization is the wrapper's
+// only job.
+type LockedSink struct {
+	mu    sync.Mutex
+	inner Sink
+}
+
+// NewLockedSink wraps inner. A nil inner yields a sink that drops records,
+// so optional consumers can be wired unconditionally.
+func NewLockedSink(inner Sink) *LockedSink {
+	return &LockedSink{inner: inner}
+}
+
+// Observe delivers r to the wrapped sink under the lock.
+func (ls *LockedSink) Observe(r *Record) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.inner == nil {
+		return nil
+	}
+	return ls.inner.Observe(r)
+}
+
+// Close closes the wrapped sink under the lock.
+func (ls *LockedSink) Close() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.inner == nil {
+		return nil
+	}
+	return ls.inner.Close()
+}
+
+// Do runs fn while holding the sink's lock — the atomic-section escape
+// hatch for multi-call sequences against the wrapped sink (e.g. snapshot
+// then reset) that must not interleave with concurrent Observes.
+func (ls *LockedSink) Do(fn func(Sink) error) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return fn(ls.inner)
+}

@@ -1,0 +1,330 @@
+// Package service runs the live Notary collector: the long-runtime mode the
+// paper's vantage point implies. A Server keeps one core.Study hot — the
+// same aggregate that answers batch queries — and ingests TSV record
+// streams over HTTP POST or raw TCP while serving JSON query endpoints off
+// generation-checked analysis.Frame snapshots, so queries never observe a
+// half-applied record and ingestion never waits on a slow reader.
+//
+// Endpoints:
+//
+//	POST /ingest          TSV connection-log stream (LogWriter format; header
+//	                      and comment lines are skipped, ReadLog semantics)
+//	GET  /figures         every catalog figure, evaluated on a frame snapshot
+//	GET  /figure/{name}   one figure by catalog name ("versions") or number ("1")
+//	GET  /scalars         the paper-vs-measured scalar report
+//	GET  /metrics         the declarative figure catalog (metadata only)
+//	GET  /healthz         liveness: record count, generation, month count
+//
+// Ingestion is sharded: each stream parses into a private notary.Aggregate
+// (no lock contention on the parse) and folds into the live study via
+// Aggregate.Merge every FlushEvery records and at stream end. The merged
+// content is identical to serial ingestion for every flush cadence, so a
+// served study's figures and scalars match the offline loadlog path
+// exactly.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+)
+
+// DefaultFlushEvery is the per-stream shard size: small enough that
+// /healthz and queries see fresh data while a long stream is still
+// arriving, large enough to amortize the merge lock.
+const DefaultFlushEvery = 4096
+
+// Server is the live-ingest front end over one study.
+type Server struct {
+	study      *core.Study
+	flushEvery int
+	// logSink, when set, receives every ingested record before it reaches
+	// the aggregate — the durable tee (e.g. a LogWriter). It is wrapped in
+	// a LockedSink so concurrent streams interleave whole records.
+	logSink *notary.LockedSink
+	mux     *http.ServeMux
+
+	// tcpMu guards tcpLns, the raw-TCP listeners Close shuts down; connWG
+	// tracks in-flight TCP ingest handlers so Close can drain them before
+	// flushing the durable tee.
+	tcpMu  sync.Mutex
+	tcpLns []net.Listener
+	connWG sync.WaitGroup
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithFlushEvery sets the per-stream shard size (records buffered before a
+// merge into the live aggregate). n <= 0 keeps the default.
+func WithFlushEvery(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.flushEvery = n
+		}
+	}
+}
+
+// WithLogSink tees every ingested record into sink (typically a
+// notary.LogWriter over a file) before aggregation. The server wraps it for
+// concurrent delivery and closes it in Close.
+func WithLogSink(sink notary.Sink) Option {
+	return func(s *Server) { s.logSink = notary.NewLockedSink(sink) }
+}
+
+// NewServer builds a server over study — usually core.NewLiveStudy(), but
+// any already-run study works too (serving a batch result while ingesting
+// more records on top).
+func NewServer(study *core.Study, opts ...Option) *Server {
+	s := &Server{study: study, flushEvery: DefaultFlushEvery}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /figures", s.handleFigures)
+	mux.HandleFunc("GET /figure/{name}", s.handleFigure)
+	mux.HandleFunc("GET /scalars", s.handleScalars)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Study exposes the served study (e.g. for parity checks).
+func (s *Server) Study() *core.Study { return s.study }
+
+// Handler returns the HTTP handler (ingest + query endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close releases the server's durable resources: raw-TCP listeners stop
+// accepting, in-flight TCP ingest streams are drained to completion, and
+// only then is the teed log sink flushed and closed — so every record that
+// reached the aggregate is also on disk.
+func (s *Server) Close() error {
+	s.tcpMu.Lock()
+	lns := s.tcpLns
+	s.tcpLns = nil
+	s.tcpMu.Unlock()
+	var first error
+	for _, ln := range lns {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.connWG.Wait()
+	if s.logSink != nil {
+		if err := s.logSink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ingestStats summarizes one ingested stream.
+type ingestStats struct {
+	Records    int    `json:"records"`
+	Generation uint64 `json:"generation"`
+}
+
+// ingest drains one TSV stream into the live study with ReadLog's line
+// semantics, returning how many records were applied. On a malformed line
+// the error is returned and everything before the bad line stays applied —
+// a live collector keeps what it has seen.
+func (s *Server) ingest(r io.Reader) (ingestStats, error) {
+	ing := newShardIngester(s.study, s.flushEvery, s.logSink)
+	readErr := notary.ReadLog(r, ing)
+	flushErr := ing.Close()
+	_, _, gen, err := s.study.Counts()
+	if err != nil {
+		return ingestStats{}, err
+	}
+	st := ingestStats{Records: ing.total, Generation: gen}
+	if readErr != nil {
+		return st, readErr
+	}
+	return st, flushErr
+}
+
+// shardIngester accumulates a stream into a private aggregate and merges it
+// into the live study every flushEvery records — the sharded ingest path.
+type shardIngester struct {
+	study *core.Study
+	shard *notary.Aggregate
+	tee   *notary.LockedSink // optional, may be nil
+	every int
+	since int
+	total int
+}
+
+func newShardIngester(study *core.Study, every int, tee *notary.LockedSink) *shardIngester {
+	if every <= 0 {
+		every = DefaultFlushEvery
+	}
+	return &shardIngester{study: study, shard: notary.NewAggregate(), every: every, tee: tee}
+}
+
+// Observe implements notary.Sink: records land in the private shard, with
+// the durable tee (if any) written first so the log orders records the way
+// they were accepted.
+func (si *shardIngester) Observe(r *notary.Record) error {
+	if si.tee != nil {
+		if err := si.tee.Observe(r); err != nil {
+			return err
+		}
+	}
+	si.shard.Add(r)
+	si.total++
+	si.since++
+	if si.since >= si.every {
+		return si.flush()
+	}
+	return nil
+}
+
+// Close folds the remaining shard into the live study. It does not close
+// the shared tee — the server owns that.
+func (si *shardIngester) Close() error { return si.flush() }
+
+func (si *shardIngester) flush() error {
+	if si.since == 0 {
+		return nil
+	}
+	if err := si.study.MergeShard(si.shard); err != nil {
+		return err
+	}
+	si.shard = notary.NewAggregate()
+	si.since = 0
+	return nil
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // nothing useful to do about a broken client connection
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	st, err := s.ingest(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":      err.Error(),
+			"records":    st.Records,
+			"generation": st.Generation,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	figs, err := s.study.Figures()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, figs)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var (
+		fig analysis.Figure
+		err error
+	)
+	if n, convErr := strconv.Atoi(name); convErr == nil {
+		fig, err = s.study.Figure(n)
+	} else {
+		fig, err = s.study.FigureByName(name)
+	}
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fig)
+}
+
+func (s *Server) handleScalars(w http.ResponseWriter, r *http.Request) {
+	scalars, err := s.study.Scalars()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scalars)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, analysis.Catalog())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	records, months, gen, err := s.study.Counts()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"records":    records,
+		"months":     months,
+		"generation": gen,
+	})
+}
+
+// --- raw TCP ingest ---
+
+// ServeTCP accepts raw TSV streams on ln: each connection is one log
+// stream, ingested with the same semantics as POST /ingest; the server
+// replies with a single status line ("ok <records> <generation>" or
+// "error: ...") and closes the connection. It returns after the listener
+// closes (Close does that).
+func (s *Server) ServeTCP(ln net.Listener) error {
+	s.tcpMu.Lock()
+	s.tcpLns = append(s.tcpLns, ln)
+	s.tcpMu.Unlock()
+	defer s.connWG.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer conn.Close()
+			st, err := s.ingest(conn)
+			if err != nil {
+				// The client may still be mid-stream; stop reading without
+				// resetting the connection so the error line below survives
+				// long enough to be read (closing with unread inbound data
+				// would RST the queued reply away).
+				if tc, ok := conn.(*net.TCPConn); ok {
+					_ = tc.CloseRead()
+				}
+				fmt.Fprintf(conn, "error: %v\n", err)
+				return
+			}
+			fmt.Fprintf(conn, "ok %d %d\n", st.Records, st.Generation)
+		}()
+	}
+}

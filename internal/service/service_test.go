@@ -1,0 +1,515 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+	"tlsage/internal/timeline"
+)
+
+// studyLog simulates a small study once and returns its TSV log plus the
+// offline study built from it — the parity reference.
+var (
+	logOnce    sync.Once
+	logBytes   []byte
+	offlineRef *core.Study
+)
+
+func sharedLog(t *testing.T) ([]byte, *core.Study) {
+	t.Helper()
+	logOnce.Do(func() {
+		var buf bytes.Buffer
+		s := core.NewStudy(40)
+		s.Options.End = timeline.M(2013, time.June)
+		if err := s.Run(&buf); err != nil {
+			panic(err)
+		}
+		logBytes = buf.Bytes()
+		offline := &core.Study{}
+		if err := offline.LoadLog(bytes.NewReader(logBytes)); err != nil {
+			panic(err)
+		}
+		offlineRef = offline
+	})
+	return logBytes, offlineRef
+}
+
+// encodeLikeServer marshals v exactly the way the server's writeJSON does,
+// so byte-level parity checks compare like with like.
+func encodeLikeServer(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// figureJSON mirrors the wire shape of one served figure.
+type figureJSON struct {
+	ID     string `json:"id"`
+	Series []struct {
+		Name   string `json:"name"`
+		Points []struct {
+			Month string  `json:"month"`
+			Value float64 `json:"value"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+// compareFigures checks served figures against offline ones value by value,
+// tolerating only last-ulp float drift (see the call site).
+func compareFigures(t *testing.T, served []figureJSON, offline []analysis.Figure) {
+	t.Helper()
+	if len(served) != len(offline) {
+		t.Fatalf("%d served figures, offline has %d", len(served), len(offline))
+	}
+	for i, want := range offline {
+		got := served[i]
+		if got.ID != want.ID || len(got.Series) != len(want.Series) {
+			t.Fatalf("figure %d: %s/%d series, want %s/%d", i, got.ID, len(got.Series), want.ID, len(want.Series))
+		}
+		for j, ws := range want.Series {
+			gs := got.Series[j]
+			if gs.Name != ws.Name || len(gs.Points) != len(ws.Points) {
+				t.Fatalf("%s series %d: %s/%d points, want %s/%d", want.ID, j, gs.Name, len(gs.Points), ws.Name, len(ws.Points))
+			}
+			for k, wp := range ws.Points {
+				gp := gs.Points[k]
+				diff := gp.Value - wp.Value
+				if diff < 0 {
+					diff = -diff
+				}
+				if gp.Month != wp.Month.String() || diff > 1e-9 {
+					t.Fatalf("%s %s @%s = %v, want %v", want.ID, ws.Name, wp.Month, gp.Value, wp.Value)
+				}
+			}
+		}
+	}
+}
+
+func mustGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServeFeedScalarParity is the end-to-end acceptance check: a simulated
+// log fed into a running server must answer /scalars byte-identically to the
+// offline loadlog path, and /figures must match figure by figure.
+func TestServeFeedScalarParity(t *testing.T) {
+	log, offline := sharedLog(t)
+
+	// An odd flush cadence sweeps shard boundaries across records.
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(97))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fed struct {
+		Records    int    `json:"records"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	wantRecords := offline.Aggregate().TotalRecords()
+	if fed.Records != wantRecords {
+		t.Fatalf("fed %d records, offline log has %d", fed.Records, wantRecords)
+	}
+
+	// Scalars: byte-identical to the offline study's report.
+	offlineScalars, err := offline.Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotScalars := mustGet(t, ts.URL+"/scalars")
+	if want := encodeLikeServer(t, offlineScalars); !bytes.Equal(gotScalars, want) {
+		t.Errorf("served scalars diverge from offline loadlog:\ngot:  %s\nwant: %s", gotScalars, want)
+	}
+
+	// Figures: same parity via the bulk endpoint. Values are compared with a
+	// last-ulp tolerance: Figure 5's relative-position series sums float64
+	// accumulators whose merge order differs between the live shard cadence
+	// and the offline parallel load. Every integer-counter series matches
+	// exactly.
+	offlineFigs, err := offline.Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servedFigs []figureJSON
+	if err := json.Unmarshal(mustGet(t, ts.URL+"/figures"), &servedFigs); err != nil {
+		t.Fatal(err)
+	}
+	compareFigures(t, servedFigs, offlineFigs)
+
+	// By-number and by-name lookups answer the same figure.
+	byNum := mustGet(t, ts.URL+"/figure/1")
+	byName := mustGet(t, ts.URL+"/figure/versions")
+	if !bytes.Equal(byNum, byName) {
+		t.Error("figure lookup by number and by name diverge")
+	}
+
+	// Health reflects the ingested state.
+	var health struct {
+		Status     string `json:"status"`
+		Records    int    `json:"records"`
+		Months     int    `json:"months"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Records != wantRecords || health.Months == 0 ||
+		health.Generation != uint64(wantRecords) {
+		t.Errorf("healthz = %+v, want %d records", health, wantRecords)
+	}
+
+	// The catalog endpoint serves every spec.
+	var specs []struct {
+		Name   string   `json:"name"`
+		Series []string `json:"series"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts.URL+"/metrics"), &specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(analysis.Catalog()) {
+		t.Errorf("metrics lists %d specs, catalog has %d", len(specs), len(analysis.Catalog()))
+	}
+}
+
+// TestServeTCPIngestParity feeds the same log over the raw TCP path.
+func TestServeTCPIngestParity(t *testing.T) {
+	log, offline := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(113))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeTCP(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	want := offline.Aggregate().TotalRecords()
+	if got := strings.TrimSpace(string(reply)); got != fmt.Sprintf("ok %d %d", want, want) {
+		t.Fatalf("tcp reply = %q, want ok %d %d", got, want, want)
+	}
+	records, _, gen, err := srv.Study().Counts()
+	if err != nil || records != want || gen != uint64(want) {
+		t.Errorf("after tcp ingest: %d records gen %d (err %v), want %d", records, gen, err, want)
+	}
+	// Scalars parity holds over the TCP path too.
+	served, err := srv.Study().Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineScalars, err := offline.Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeLikeServer(t, served), encodeLikeServer(t, offlineScalars)) {
+		t.Error("tcp-fed scalars diverge from offline loadlog")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+}
+
+// TestIngestBadLineKeepsPrefix pins the at-least-what-we-saw semantics: a
+// malformed line fails the request with a line-tagged error, but everything
+// before it stays applied — a live collector keeps what it has seen.
+func TestIngestBadLineKeepsPrefix(t *testing.T) {
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	log, _ := sharedLog(t)
+	lines := bytes.SplitAfter(log, []byte{'\n'})
+	var stream bytes.Buffer
+	good := 0
+	for _, l := range lines {
+		if good == 10 {
+			stream.WriteString("this is not a record\n")
+			break
+		}
+		stream.Write(l)
+		if len(l) > 0 && l[0] != '#' && !bytes.Equal(bytes.TrimSpace(l), nil) {
+			good++
+		}
+	}
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", &stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var reply struct {
+		Error   string `json:"error"`
+		Records int    `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply.Error, "line") {
+		t.Errorf("error %q lacks the line tag", reply.Error)
+	}
+	records, _, _, err := srv.Study().Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 10 || reply.Records != 10 {
+		t.Errorf("prefix kept %d records (reply %d), want 10", records, reply.Records)
+	}
+}
+
+// TestServiceConcurrentIngestAndQuery hammers /ingest from several streams
+// while readers poll /healthz and /figures — run under -race. Generations
+// must be monotonic per reader and the final count must equal the total fed.
+func TestServiceConcurrentIngestAndQuery(t *testing.T) {
+	log, offline := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(53))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Split the log body into per-producer line-aligned slices.
+	const producers = 4
+	lines := bytes.SplitAfter(log, []byte{'\n'})
+	chunks := make([][]byte, producers)
+	for i, l := range lines {
+		if len(l) == 0 || l[0] == '#' {
+			continue
+		}
+		chunks[i%producers] = append(chunks[i%producers], l...)
+	}
+
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		wg.Add(1)
+		go func(chunk []byte) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(chunk))
+			if err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("ingest status %d", resp.StatusCode)
+			}
+		}(chunk)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var health struct {
+					Generation uint64 `json:"generation"`
+					Records    int    `json:"records"`
+				}
+				if err := json.Unmarshal(mustGet(t, ts.URL+"/healthz"), &health); err != nil {
+					t.Errorf("healthz: %v", err)
+					return
+				}
+				if health.Generation < lastGen {
+					t.Errorf("generation went backwards: %d after %d", health.Generation, lastGen)
+					return
+				}
+				lastGen = health.Generation
+				var figs []json.RawMessage
+				if err := json.Unmarshal(mustGet(t, ts.URL+"/figures"), &figs); err != nil {
+					t.Errorf("figures: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	want := offline.Aggregate().TotalRecords()
+	records, _, gen, err := srv.Study().Counts()
+	if err != nil || records != want || gen != uint64(want) {
+		t.Fatalf("final: %d records gen %d (err %v), want %d", records, gen, err, want)
+	}
+	// Interleaved sharded ingestion still lands on the exact offline result.
+	served, err := srv.Study().Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineScalars, err := offline.Scalars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeLikeServer(t, served), encodeLikeServer(t, offlineScalars)) {
+		t.Error("concurrently-fed scalars diverge from offline loadlog")
+	}
+}
+
+// TestFigureNotFound pins the 404 path.
+func TestFigureNotFound(t *testing.T) {
+	srv := NewServer(core.NewLiveStudy())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/figure/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLogSinkTee verifies the durable tee: everything ingested lands in the
+// teed log writer, replayable into an identical study.
+func TestLogSinkTee(t *testing.T) {
+	log, offline := sharedLog(t)
+	var teed bytes.Buffer
+	srv := NewServer(core.NewLiveStudy(), WithLogSink(notary.NewLogWriter(&teed)))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := srv.Close(); err != nil { // flushes the tee
+		t.Fatal(err)
+	}
+	var replay core.Study
+	if err := replay.LoadLog(&teed); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replay.Aggregate().TotalRecords(), offline.Aggregate().TotalRecords(); got != want {
+		t.Errorf("teed log replays %d records, want %d", got, want)
+	}
+}
+
+// TestCloseDrainsInFlightTCPStream pins the shutdown ordering: Close must
+// wait for in-flight TCP ingest handlers before flushing the durable tee,
+// so every record that reached the aggregate is also in the log.
+func TestCloseDrainsInFlightTCPStream(t *testing.T) {
+	log, offline := sharedLog(t)
+	var teed bytes.Buffer
+	srv := NewServer(core.NewLiveStudy(),
+		WithFlushEvery(37), WithLogSink(notary.NewLogWriter(&teed)))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeTCP(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Send the first half, then Close the server mid-stream.
+	half := len(log) / 2
+	if _, err := conn.Write(log[:half]); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	time.Sleep(20 * time.Millisecond) // let Close reach the handler drain
+	if _, err := conn.Write(log[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if !strings.HasPrefix(string(reply), "ok ") {
+		t.Fatalf("tcp reply = %q", reply)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+
+	want := offline.Aggregate().TotalRecords()
+	records, _, _, err := srv.Study().Counts()
+	if err != nil || records != want {
+		t.Fatalf("aggregate has %d records (err %v), want %d", records, err, want)
+	}
+	var replay core.Study
+	if err := replay.LoadLog(&teed); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Aggregate().TotalRecords(); got != want {
+		t.Errorf("drained tee holds %d records, want %d — Close flushed before the stream finished", got, want)
+	}
+}
