@@ -157,6 +157,48 @@ func BenchmarkAllFigures(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryEval measures the Expr interpreter on the catalog-equivalent
+// expressions of Figure 1 (five version-share series). Compare against
+// BenchmarkQueryEvalNative: the same five series through the catalog engine
+// (Frame.EvalFigure), which evaluates the same Expr data plus the
+// Figure/Point packaging.
+func BenchmarkQueryEval(b *testing.B) {
+	f := studyFrame(b)
+	exprs := make([]*analysis.Expr, 0, 5)
+	for _, v := range []string{"ssl3", "tls10", "tls11", "tls12", "tls13"} {
+		e, err := analysis.ParseQuery("pct(version:" + v + " / established)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		exprs = append(exprs, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var vals []float64
+	for i := 0; i < b.N; i++ {
+		for _, e := range exprs {
+			var err error
+			vals, err = f.EvalSeries(e)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(vals[len(vals)-1], "tls13_apr18_pct")
+}
+
+// BenchmarkQueryEvalNative is the catalog-engine side of the comparison.
+func BenchmarkQueryEvalNative(b *testing.B) {
+	studyFrame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fig analysis.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchFigure(b, 1)
+	}
+	b.ReportMetric(float64(len(fig.Series)), "series")
+}
+
 func BenchmarkFigure1NegotiatedVersions(b *testing.B) {
 	studyFrame(b)
 	b.ResetTimer()

@@ -6,8 +6,9 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log]           live notary service: TSV ingest + JSON query endpoints
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b]  live notary service: TSV ingest + JSON query endpoints
 //	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N]  stream a log or a live simulation into a server
+//	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
 //	tlstrend metrics                                           list the figure catalog (no simulation)
@@ -59,6 +60,8 @@ func main() {
 		err = cmdServe(args)
 	case "feed":
 		err = cmdFeed(args)
+	case "query":
+		err = cmdQuery(args)
 	case "figure":
 		err = cmdFigure(args)
 	case "figures":
@@ -100,6 +103,7 @@ commands:
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
   serve         run the live notary service: ingest TSV streams, serve JSON queries
   feed          stream a TSV log or a live simulation into a running server
+  query         evaluate a metric expression (see README grammar) offline or against a server
   figure        print one catalog figure (-n 1–10 or -name) as a table or ASCII chart
   figures       print every figure
   metrics       list the declarative figure catalog (ids, names, series)
@@ -210,30 +214,45 @@ func cmdLoadLog(args []string) error {
 	return analysis.RenderScalars(os.Stdout, "Post-hoc log analysis (paper vs measured)", scalars)
 }
 
-// cmdServe runs the live notary service: a hot, initially empty study that
-// ingests TSV record streams (HTTP POST /ingest, optionally raw TCP) and
-// answers figure/scalar queries as JSON while ingestion continues.
+// cmdServe runs the live notary service: one hot, initially empty study per
+// vantage point (-studies), each ingesting TSV record streams (HTTP POST
+// /ingest, optionally raw TCP into the default study) and answering
+// figure/scalar/query requests as JSON while ingestion continues. Studies
+// are served under /studies/{id}/; the first id also answers the legacy
+// root routes.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP listen address (ingest + query)")
-	tcpAddr := fs.String("tcp", "", "optional raw-TCP TSV ingest listen address")
-	outPath := fs.String("out", "", "tee every ingested record to this TSV log")
+	tcpAddr := fs.String("tcp", "", "optional raw-TCP TSV ingest listen address (default study)")
+	outPath := fs.String("out", "", "tee every record ingested into the default study to this TSV log")
 	flush := fs.Int("flush", 0, "records per ingest shard before merging (0 = default)")
+	studies := fs.String("studies", "notary", "comma-separated study ids to host; the first is the default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := []service.Option{service.WithFlushEvery(*flush)}
 	var logFile *os.File
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	rt := service.NewRouter()
+	var srv *service.Server // the default study's server (TCP ingest, -out tee)
+	for i, id := range strings.Split(*studies, ",") {
+		id = strings.TrimSpace(id)
+		opts := []service.Option{service.WithFlushEvery(*flush)}
+		if i == 0 && *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			logFile = f
+			opts = append(opts, service.WithLogSink(notary.NewLogWriter(f)))
+		}
+		s := service.NewServer(core.NewLiveStudy(), opts...)
+		if err := rt.Add(id, s); err != nil {
 			return err
 		}
-		logFile = f
-		opts = append(opts, service.WithLogSink(notary.NewLogWriter(f)))
+		if i == 0 {
+			srv = s
+		}
 	}
-	srv := service.NewServer(core.NewLiveStudy(), opts...)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -242,14 +261,15 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: rt.Handler()}
 	errc := make(chan error, 2)
 	go func() {
 		if err := hs.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "serving ingest + queries on http://%s\n", httpLn.Addr())
+	fmt.Fprintf(os.Stderr, "serving ingest + queries on http://%s (studies: %s)\n",
+		httpLn.Addr(), strings.Join(rt.IDs(), ", "))
 	if *tcpAddr != "" {
 		ln, err := net.Listen("tcp", *tcpAddr)
 		if err != nil {
@@ -275,9 +295,10 @@ func cmdServe(args []string) error {
 	if err := hs.Shutdown(shutCtx); err != nil && runErr == nil {
 		runErr = err
 	}
-	// srv.Close stops the TCP listeners and flushes the teed log writer;
-	// the file close can still fail on a full disk, so it is checked too.
-	if err := srv.Close(); err != nil && runErr == nil {
+	// rt.Close closes every hosted server — stopping TCP listeners and
+	// flushing the teed log writer; the file close can still fail on a full
+	// disk, so it is checked too.
+	if err := rt.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
 	if logFile != nil {
@@ -285,9 +306,12 @@ func cmdServe(args []string) error {
 			runErr = fmt.Errorf("closing %s: %w", *outPath, err)
 		}
 	}
-	if records, months, gen, err := srv.Study().Counts(); err == nil {
-		fmt.Fprintf(os.Stderr, "final state: %d records over %d months (generation %d)\n",
-			records, months, gen)
+	for _, id := range rt.IDs() {
+		s, _ := rt.Server(id)
+		if records, months, gen, err := s.Study().Counts(); err == nil {
+			fmt.Fprintf(os.Stderr, "final state of %s: %d records over %d months (generation %d)\n",
+				id, records, months, gen)
+		}
 	}
 	return runErr
 }
@@ -391,6 +415,130 @@ func feedTCP(addr string, body io.Reader, start time.Time) error {
 	return nil
 }
 
+// cmdQuery evaluates one metric expression (the README query grammar):
+// offline against a TSV log or a fresh simulation, or remotely by POSTing
+// to a running server's /query endpoint (optionally a named study on a
+// multi-study router).
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	expr := fs.String("q", "", "metric expression, e.g. 'pct(version:tls12 / established)'")
+	addr := fs.String("addr", "", "query a running server at this base URL instead of evaluating offline")
+	study := fs.String("study", "", "server study id (with -addr; empty = the default study's routes)")
+	in := fs.String("in", "", "TSV connection log to load (offline; empty = simulate)")
+	conns := fs.Int("conns", 600, "connections per month when simulating")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "workers (0 = all cores)")
+	asJSON := fs.Bool("json", false, "print the raw JSON result instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *expr == "" {
+		return fmt.Errorf("query: -q is required (try 'pct(version:tls12 / established)')")
+	}
+	// Parse locally first so typos fail fast with the grammar error even in
+	// remote mode, and so the canonical form is what travels.
+	parsed, err := analysis.ParseQuery(*expr)
+	if err != nil {
+		return err
+	}
+
+	var res analysis.QueryResult
+	if *addr != "" {
+		res, err = remoteQuery(*addr, *study, parsed)
+	} else {
+		var s core.Study
+		s.Options = simulate.DefaultOptions(*conns)
+		s.Options.Seed = *seed
+		s.Options.Workers = *workers
+		if *in != "" {
+			f, openErr := os.Open(*in)
+			if openErr != nil {
+				return openErr
+			}
+			loadErr := s.LoadLog(f)
+			if cerr := f.Close(); cerr != nil && loadErr == nil {
+				loadErr = fmt.Errorf("closing %s: %w", *in, cerr)
+			}
+			if loadErr != nil {
+				return loadErr
+			}
+		} else if err := s.Run(nil); err != nil {
+			return err
+		}
+		res, err = s.QueryExpr(parsed)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return renderQueryResult(os.Stdout, res)
+}
+
+// remoteQuery POSTs an expression to a server's /query endpoint.
+func remoteQuery(addr, study string, e *analysis.Expr) (analysis.QueryResult, error) {
+	var res analysis.QueryResult
+	url := strings.TrimSuffix(addr, "/")
+	if study != "" {
+		url += "/studies/" + study
+	}
+	body, err := json.Marshal(map[string]string{"query": e.String()})
+	if err != nil {
+		return res, err
+	}
+	resp, err := http.Post(url+"/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return res, fmt.Errorf("query: reading server reply: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var reply struct {
+			Error string   `json:"error"`
+			Valid []string `json:"valid"`
+		}
+		if json.Unmarshal(raw, &reply) == nil && reply.Error != "" {
+			if len(reply.Valid) > 0 {
+				return res, fmt.Errorf("query: %s (valid: %s)", reply.Error, strings.Join(reply.Valid, ", "))
+			}
+			return res, fmt.Errorf("query: %s", reply.Error)
+		}
+		return res, fmt.Errorf("query: server replied %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return res, fmt.Errorf("query: decoding server reply: %w", err)
+	}
+	if gen := resp.Header.Get("X-Generation"); gen != "" {
+		fmt.Fprintf(os.Stderr, "server generation %s\n", gen)
+	}
+	return res, nil
+}
+
+// renderQueryResult prints a query answer: scalars as one value, series as
+// a month/value table.
+func renderQueryResult(w io.Writer, res analysis.QueryResult) error {
+	if res.Kind == "scalar" {
+		_, err := fmt.Fprintf(w, "%s = %.4f\n", res.Query, res.Value)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%-8s %12s\n", res.Query, "month", "value"); err != nil {
+		return err
+	}
+	for _, p := range res.Series.Points {
+		if _, err := fmt.Fprintf(w, "%-8s %12.4f\n", p.Month, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func cmdFigure(args []string) error {
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	n := fs.Int("n", 1, "figure number (1–10)")
@@ -404,7 +552,8 @@ func cmdFigure(args []string) error {
 	}
 	if *name != "" {
 		if _, ok := analysis.SpecByName(*name); !ok {
-			return fmt.Errorf("no figure named %q (run 'tlstrend metrics' for the catalog)", *name)
+			return fmt.Errorf("no figure named %q (valid names: %s)",
+				*name, strings.Join(analysis.CatalogNames(), ", "))
 		}
 	}
 	s, err := runStudy(*conns, *seed, *workers, "")
@@ -441,11 +590,9 @@ func cmdMetrics(args []string) error {
 			num = strconv.Itoa(spec.Num)
 		}
 		fmt.Printf("%-4s %-10s %-22s %s\n", num, spec.ID, spec.Name, spec.Title)
-		series := make([]string, 0, len(spec.Metrics))
 		for _, m := range spec.Metrics {
-			series = append(series, m.Name)
+			fmt.Printf("     %-24s %s\n", m.Name, m.Expr)
 		}
-		fmt.Printf("     %-10s series: %s\n", "", strings.Join(series, ", "))
 	}
 	return nil
 }

@@ -1,0 +1,95 @@
+// Query: evaluate ad-hoc metric expressions beyond the figure catalog —
+// first offline against a simulated study, then over HTTP against a live
+// service hosting the same study, demonstrating that the two surfaces are
+// the same query API (the served answer matches the offline one exactly).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/core"
+	"tlsage/internal/service"
+)
+
+func main() {
+	study := core.NewStudy(300)
+	if err := study.Run(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline: the text grammar parses into a serializable analysis.Expr
+	// and evaluates against the study's cached Frame.
+	queries := []string{
+		"at(pct(version:tls12 / established), 2018-02)", // a catalog-style read
+		"over(null-negotiated / established)",           // whole-dataset ratio
+		"max(pct(ext:heartbeat / total))",               // peak heartbeat advertisement
+		"pct(sum(kex:ecdhe, kex:tls13) / established)",  // Figure 8's ECDHE series
+	}
+	fmt.Println("offline:")
+	for _, src := range queries {
+		res, err := study.Query(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch res.Kind {
+		case "scalar":
+			fmt.Printf("  %-46s = %8.4f\n", res.Query, res.Value)
+		default:
+			last := res.Series.Points[len(res.Series.Points)-1]
+			fmt.Printf("  %-46s = series over %d months (last: %s %.2f)\n",
+				res.Query, len(res.Series.Points), last.Month, last.Value)
+		}
+	}
+
+	// Remote: the same study behind a multi-study router; POST the same
+	// expression to /studies/notary/query and compare.
+	rt := service.NewRouter()
+	if err := rt.Add("notary", service.NewServer(study)); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	const expr = "over(null-negotiated / established)"
+	body, err := json.Marshal(map[string]string{"query": expr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post("http://"+ln.Addr().String()+"/studies/notary/query",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var served analysis.QueryResult
+	if err := json.Unmarshal(raw, &served); err != nil {
+		log.Fatal(err)
+	}
+	offline, err := study.Query(expr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nover HTTP (generation %s):\n  %-46s = %8.4f\n",
+		resp.Header.Get("X-Generation"), served.Query, served.Value)
+	if served.Value == offline.Value {
+		fmt.Println("  matches the offline evaluation exactly")
+	} else {
+		log.Fatalf("served %v != offline %v", served.Value, offline.Value)
+	}
+}

@@ -1,18 +1,18 @@
 package analysis
 
 import (
-	"tlsage/internal/registry"
+	"fmt"
+
 	"tlsage/internal/timeline"
 )
 
-// MetricEval computes one series of values, one per frame row. Evaluators
-// resolve their columns once and then scan densely — no per-row map lookups.
-type MetricEval func(f *Frame) []float64
-
-// MetricSpec names one series of a figure and how to compute it.
+// MetricSpec names one series of a figure and the expression that computes
+// it. Specs are pure data: they marshal to JSON and round-trip through the
+// query grammar, so the catalog itself is servable and any metric can be
+// re-evaluated from its serialized form.
 type MetricSpec struct {
 	Name string
-	Eval MetricEval
+	Expr *Expr
 }
 
 // FigureSpec is one catalog entry: a figure as data. The generic engine
@@ -34,97 +34,31 @@ type FigureSpec struct {
 	Events []string
 }
 
-// --- evaluator vocabulary ---
-
-// ColumnFn resolves one dense integer column of a frame. It may return nil
-// when the underlying key was never observed; evaluators read nil as zeros.
-type ColumnFn func(f *Frame) []int
-
-func versionCol(v registry.Version) ColumnFn {
-	return func(f *Frame) []int { return f.Version[v] }
-}
-
-func classCol(c string) ColumnFn {
-	return func(f *Frame) []int { return f.Class[c] }
-}
-
-func kexCol(k registry.KeyExchange) ColumnFn {
-	return func(f *Frame) []int { return f.Kex[k] }
-}
-
-func extCol(e registry.ExtensionID) ColumnFn {
-	return func(f *Frame) []int { return f.Extension[e] }
-}
-
-// addCols sums columns element-wise (e.g. ECDHE + TLS 1.3 in Figure 8).
-func addCols(cols ...ColumnFn) ColumnFn {
-	return func(f *Frame) []int {
-		out := make([]int, f.Len())
-		for _, cf := range cols {
-			c := cf(f)
-			for i := range c {
-				out[i] += c[i]
-			}
-		}
-		return out
+// q parses a catalog expression, panicking on error: the catalog is static
+// data validated at package init.
+func q(src string) *Expr {
+	e, err := ParseQuery(src)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: bad catalog query: %v", err))
 	}
-}
-
-// pctSeries evaluates 100·num/den per row with zero denominators yielding 0.
-func pctSeries(num, den []int, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = pctAt(num, den, i)
-	}
-	return out
-}
-
-// overTotal expresses a column as a percentage of all monthly hellos.
-func overTotal(cf ColumnFn) MetricEval {
-	return func(f *Frame) []float64 { return pctSeries(cf(f), f.Total, f.Len()) }
-}
-
-// overEstablished expresses a column as a percentage of established
-// connections.
-func overEstablished(cf ColumnFn) MetricEval {
-	return func(f *Frame) []float64 { return pctSeries(cf(f), f.Established, f.Len()) }
-}
-
-// overFPs expresses a column as a percentage of distinct monthly
-// fingerprints.
-func overFPs(cf ColumnFn) MetricEval {
-	return func(f *Frame) []float64 { return pctSeries(cf(f), f.FPTotal, f.Len()) }
-}
-
-// position evaluates the Figure 5 metric: the average relative position of
-// the first suite of a class in client-advertised lists.
-func position(class string) MetricEval {
-	return func(f *Frame) []float64 {
-		out := make([]float64, f.Len())
-		sums, counts := f.PosSum[class], f.PosCount[class]
-		for i := range out {
-			if c := at(counts, i); c != 0 {
-				out[i] = 100 * sums[i] / float64(c)
-			}
-		}
-		return out
-	}
+	return e
 }
 
 // --- the catalog ---
 
 // catalog declares every figure of the paper plus the §9 extension-uptake
-// extra. Order fixes Figures()' output; Num and Name are the lookup keys.
+// extra, each series a query-grammar expression. Order fixes Figures()'
+// output; Num and Name are the lookup keys.
 var catalog = []FigureSpec{
 	{
 		Num: 1, ID: "Figure 1", Name: "versions",
 		Title: "Negotiated SSL/TLS versions (% monthly connections)",
 		Metrics: []MetricSpec{
-			{"SSLv3", overEstablished(versionCol(registry.VersionSSL3))},
-			{"TLSv10", overEstablished(versionCol(registry.VersionTLS10))},
-			{"TLSv11", overEstablished(versionCol(registry.VersionTLS11))},
-			{"TLSv12", overEstablished(versionCol(registry.VersionTLS12))},
-			{"TLSv13", overEstablished(versionCol(registry.VersionTLS13))},
+			{"SSLv3", q("pct(version:ssl3 / established)")},
+			{"TLSv10", q("pct(version:tls10 / established)")},
+			{"TLSv11", q("pct(version:tls11 / established)")},
+			{"TLSv12", q("pct(version:tls12 / established)")},
+			{"TLSv13", q("pct(version:tls13 / established)")},
 		},
 		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
 			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
@@ -134,9 +68,9 @@ var catalog = []FigureSpec{
 		Num: 2, ID: "Figure 2", Name: "negotiated-classes",
 		Title: "Negotiated connections using RC4, CBC or AEAD (%)",
 		Metrics: []MetricSpec{
-			{"AEAD", overEstablished(classCol("AEAD"))},
-			{"CBC", overEstablished(classCol("CBC"))},
-			{"RC4", overEstablished(classCol("RC4"))},
+			{"AEAD", q("pct(class:aead / established)")},
+			{"CBC", q("pct(class:cbc / established)")},
+			{"RC4", q("pct(class:rc4 / established)")},
 		},
 		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
 			timeline.EventSnowden, timeline.EventRC4Passwords, timeline.EventRC4NoMore,
@@ -146,10 +80,10 @@ var catalog = []FigureSpec{
 		Num: 3, ID: "Figure 3", Name: "advertised-classes",
 		Title: "Client-advertised RC4 / DES / 3DES / AEAD (% connections)",
 		Metrics: []MetricSpec{
-			{"AEAD", overTotal(func(f *Frame) []int { return f.AdvAEAD })},
-			{"RC4", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
-			{"DES", overTotal(func(f *Frame) []int { return f.AdvDES })},
-			{"3DES", overTotal(func(f *Frame) []int { return f.Adv3DES })},
+			{"AEAD", q("pct(adv-aead / total)")},
+			{"RC4", q("pct(adv-rc4 / total)")},
+			{"DES", q("pct(adv-des / total)")},
+			{"3DES", q("pct(adv-3des / total)")},
 		},
 		Events: []string{timeline.EventLucky13, timeline.EventPOODLE, timeline.EventRC4,
 			timeline.EventRC4Passwords, timeline.EventRC4NoMore, timeline.EventSweet32},
@@ -158,10 +92,10 @@ var catalog = []FigureSpec{
 		Num: 4, ID: "Figure 4", Name: "fingerprint-classes",
 		Title: "Fingerprints supporting RC4 / DES / 3DES / AEAD (% monthly fingerprints)",
 		Metrics: []MetricSpec{
-			{"AEAD", overFPs(func(f *Frame) []int { return f.FPAEAD })},
-			{"RC4", overFPs(func(f *Frame) []int { return f.FPRC4 })},
-			{"DES", overFPs(func(f *Frame) []int { return f.FPDES })},
-			{"3DES", overFPs(func(f *Frame) []int { return f.FP3DES })},
+			{"AEAD", q("pct(fp-aead / fingerprints)")},
+			{"RC4", q("pct(fp-rc4 / fingerprints)")},
+			{"DES", q("pct(fp-des / fingerprints)")},
+			{"3DES", q("pct(fp-3des / fingerprints)")},
 		},
 		Events: []string{timeline.EventPOODLE, timeline.EventRC4Passwords,
 			timeline.EventRC4NoMore, timeline.EventSweet32},
@@ -170,18 +104,18 @@ var catalog = []FigureSpec{
 		Num: 5, ID: "Figure 5", Name: "cipher-positions",
 		Title: "Average relative position of first advertised cipher by class (%)",
 		Metrics: []MetricSpec{
-			{"AEAD", position("AEAD")},
-			{"CBC", position("CBC")},
-			{"RC4", position("RC4")},
-			{"DES", position("DES")},
-			{"3DES", position("3DES")},
+			{"AEAD", q("position(aead)")},
+			{"CBC", q("position(cbc)")},
+			{"RC4", q("position(rc4)")},
+			{"DES", q("position(des)")},
+			{"3DES", q("position(3des)")},
 		},
 	},
 	{
 		Num: 6, ID: "Figure 6", Name: "rc4-advertised",
 		Title: "Connections with client-advertised RC4 (%)",
 		Metrics: []MetricSpec{
-			{"RC4 advertised", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
+			{"RC4 advertised", q("pct(adv-rc4 / total)")},
 		},
 		Events: []string{timeline.EventRC4, timeline.EventRFC7465,
 			timeline.EventRC4Passwords, timeline.EventRC4NoMore},
@@ -190,9 +124,9 @@ var catalog = []FigureSpec{
 		Num: 7, ID: "Figure 7", Name: "weak-advertised",
 		Title: "Client-advertised Export / Anonymous / NULL suites (% connections)",
 		Metrics: []MetricSpec{
-			{"Export", overTotal(func(f *Frame) []int { return f.AdvExport })},
-			{"Anonymous", overTotal(func(f *Frame) []int { return f.AdvAnon })},
-			{"Null", overTotal(func(f *Frame) []int { return f.AdvNULL })},
+			{"Export", q("pct(adv-export / total)")},
+			{"Anonymous", q("pct(adv-anon / total)")},
+			{"Null", q("pct(adv-null / total)")},
 		},
 		Events: []string{timeline.EventFREAK, timeline.EventLogjam},
 	},
@@ -200,10 +134,10 @@ var catalog = []FigureSpec{
 		Num: 8, ID: "Figure 8", Name: "key-exchange",
 		Title: "Negotiated RSA / DHE / ECDHE key exchange (% connections)",
 		Metrics: []MetricSpec{
-			{"RSA", overEstablished(kexCol(registry.KexRSA))},
-			{"DHE", overEstablished(kexCol(registry.KexDHE))},
+			{"RSA", q("pct(kex:rsa / established)")},
+			{"DHE", q("pct(kex:dhe / established)")},
 			// TLS 1.3 counts as ECDHE: its key exchange is ephemeral.
-			{"ECDHE", overEstablished(addCols(kexCol(registry.KexECDHE), kexCol(registry.KexTLS13)))},
+			{"ECDHE", q("pct(sum(kex:ecdhe, kex:tls13) / established)")},
 		},
 		Events: []string{timeline.EventSnowden},
 	},
@@ -211,20 +145,20 @@ var catalog = []FigureSpec{
 		Num: 9, ID: "Figure 9", Name: "aead-negotiated",
 		Title: "Negotiated AEAD ciphers (% connections)",
 		Metrics: []MetricSpec{
-			{"AEAD Total", overEstablished(func(f *Frame) []int { return f.NegAEAD })},
-			{"AES128-GCM", overEstablished(func(f *Frame) []int { return f.NegGCM128 })},
-			{"AES256-GCM", overEstablished(func(f *Frame) []int { return f.NegGCM256 })},
-			{"ChaCha20-Poly1305", overEstablished(func(f *Frame) []int { return f.NegChaCha })},
+			{"AEAD Total", q("pct(neg-aead / established)")},
+			{"AES128-GCM", q("pct(neg-aes128-gcm / established)")},
+			{"AES256-GCM", q("pct(neg-aes256-gcm / established)")},
+			{"ChaCha20-Poly1305", q("pct(neg-chacha / established)")},
 		},
 	},
 	{
 		Num: 10, ID: "Figure 10", Name: "aead-advertised",
 		Title: "Client-advertised AEAD ciphers (% connections)",
 		Metrics: []MetricSpec{
-			{"AES128-GCM", overTotal(func(f *Frame) []int { return f.AdvAESGCM128 })},
-			{"AES256-GCM", overTotal(func(f *Frame) []int { return f.AdvAESGCM256 })},
-			{"ChaCha20-Poly1305", overTotal(func(f *Frame) []int { return f.AdvChaCha })},
-			{"AES-CCM", overTotal(func(f *Frame) []int { return f.AdvCCM })},
+			{"AES128-GCM", q("pct(adv-aes128-gcm / total)")},
+			{"AES256-GCM", q("pct(adv-aes256-gcm / total)")},
+			{"ChaCha20-Poly1305", q("pct(adv-chacha / total)")},
+			{"AES-CCM", q("pct(adv-ccm / total)")},
 		},
 	},
 	{
@@ -235,13 +169,13 @@ var catalog = []FigureSpec{
 		Num: 0, ID: "Figure E1", Name: "extensions",
 		Title: "Client-advertised TLS extensions (% connections)",
 		Metrics: []MetricSpec{
-			{"renegotiation_info", overTotal(extCol(registry.ExtRenegotiationInfo))},
-			{"encrypt_then_mac", overTotal(extCol(registry.ExtEncryptThenMAC))},
-			{"extended_master_secret", overTotal(extCol(registry.ExtExtendedMasterSecret))},
-			{"session_ticket", overTotal(extCol(registry.ExtSessionTicket))},
-			{"server_name", overTotal(extCol(registry.ExtServerName))},
-			{"heartbeat", overTotal(extCol(registry.ExtHeartbeat))},
-			{"supported_versions", overTotal(extCol(registry.ExtSupportedVersions))},
+			{"renegotiation_info", q("pct(ext:renegotiation_info / total)")},
+			{"encrypt_then_mac", q("pct(ext:encrypt_then_mac / total)")},
+			{"extended_master_secret", q("pct(ext:extended_master_secret / total)")},
+			{"session_ticket", q("pct(ext:session_ticket / total)")},
+			{"server_name", q("pct(ext:server_name / total)")},
+			{"heartbeat", q("pct(ext:heartbeat / total)")},
+			{"supported_versions", q("pct(ext:supported_versions / total)")},
 		},
 		Events: []string{timeline.EventLucky13, timeline.EventHeartbleed},
 	},
@@ -249,6 +183,16 @@ var catalog = []FigureSpec{
 
 // Catalog returns every declared figure spec, paper figures first.
 func Catalog() []FigureSpec { return catalog }
+
+// CatalogNames returns the lookup name of every catalog figure, in catalog
+// order — the "valid names" list for lookup-miss errors.
+func CatalogNames() []string {
+	out := make([]string, 0, len(catalog))
+	for _, s := range catalog {
+		out = append(out, s.Name)
+	}
+	return out
+}
 
 // SpecByNum finds the paper figure numbered n (1–10).
 func SpecByNum(n int) (FigureSpec, bool) {
@@ -261,7 +205,9 @@ func SpecByNum(n int) (FigureSpec, bool) {
 }
 
 // SpecByName finds a spec by catalog name, e.g. "fingerprint-classes".
+// Names match case-insensitively.
 func SpecByName(name string) (FigureSpec, bool) {
+	name = fold(name)
 	for _, s := range catalog {
 		if s.Name == name {
 			return s, true
@@ -272,9 +218,11 @@ func SpecByName(name string) (FigureSpec, bool) {
 
 // --- the engine ---
 
-// EvalFigure evaluates one spec against the frame: every metric becomes a
-// series with one point per month on the frame's axis. The produced Series
-// share the frame's month index, making Series.Value O(1).
+// EvalFigure evaluates one spec against the frame: every metric expression
+// becomes a series with one point per month on the frame's axis. The
+// produced Series share the frame's month index, making Series.Value O(1).
+// EvalFigure panics on a spec whose expression does not validate — specs are
+// static data, so that is a programming error, not an input error.
 func (f *Frame) EvalFigure(spec FigureSpec) Figure {
 	fig := Figure{
 		ID:     spec.ID,
@@ -283,7 +231,10 @@ func (f *Frame) EvalFigure(spec FigureSpec) Figure {
 		Events: attackEvents(spec.Events...),
 	}
 	for _, m := range spec.Metrics {
-		vals := m.Eval(f)
+		vals, err := f.EvalSeries(m.Expr)
+		if err != nil {
+			panic(fmt.Sprintf("analysis: figure %s metric %s: %v", spec.ID, m.Name, err))
+		}
 		pts := make([]Point, len(vals))
 		for i, v := range vals {
 			pts[i] = Point{Month: f.Months[i], Value: v}

@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCatalogExprSerializedParity is the tentpole guarantee: every catalog
+// metric survives a trip through both encodings (JSON and the text grammar)
+// and still evaluates byte-identically to the in-memory expression — so a
+// remote client holding only the serialized form computes exactly what
+// Frame.EvalFigure computes.
+func TestCatalogExprSerializedParity(t *testing.T) {
+	f := sharedFrame(t)
+	for _, spec := range Catalog() {
+		for _, m := range spec.Metrics {
+			want, err := f.EvalSeries(m.Expr)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, m.Name, err)
+			}
+
+			reparsed, err := ParseQuery(m.Expr.String())
+			if err != nil {
+				t.Fatalf("%s/%s: reparse %q: %v", spec.Name, m.Name, m.Expr, err)
+			}
+			got, err := f.EvalSeries(reparsed)
+			if err != nil {
+				t.Fatalf("%s/%s: eval reparsed: %v", spec.Name, m.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: text round-trip changed values", spec.Name, m.Name)
+			}
+
+			raw, err := json.Marshal(m.Expr)
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", spec.Name, m.Name, err)
+			}
+			var decoded Expr
+			if err := json.Unmarshal(raw, &decoded); err != nil {
+				t.Fatalf("%s/%s: unmarshal: %v", spec.Name, m.Name, err)
+			}
+			got, err = f.EvalSeries(&decoded)
+			if err != nil {
+				t.Fatalf("%s/%s: eval decoded: %v", spec.Name, m.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: JSON round-trip changed values", spec.Name, m.Name)
+			}
+		}
+	}
+}
+
+// TestQueryScalarOps pins each scalar reduction against a hand computation
+// over the shared frame.
+func TestQueryScalarOps(t *testing.T) {
+	f := sharedFrame(t)
+	series, err := f.EvalSeries(q("pct(class:rc4 / established)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, min, max := 0.0, series[0], series[0]
+	for _, v := range series {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"mean(pct(class:rc4 / established))", sum / float64(len(series))},
+		{"min(pct(class:rc4 / established))", min},
+		{"max(pct(class:rc4 / established))", max},
+		{"first(pct(class:rc4 / established))", series[0]},
+		{"last(pct(class:rc4 / established))", series[len(series)-1]},
+		{"count(established)", float64(sumCol(f.Established))},
+	}
+	for _, c := range cases {
+		res, err := f.QueryString(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if res.Kind != "scalar" || res.Value != c.want {
+			t.Errorf("%s = %v (%s), want %v", c.src, res.Value, res.Kind, c.want)
+		}
+	}
+
+	// at() on a month inside the window equals the series row; outside = 0.
+	m := f.Months[f.Len()/2]
+	res, err := f.QueryString("at(pct(class:rc4 / established), " + m.String() + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != series[f.Len()/2] {
+		t.Errorf("at(%v) = %v, want %v", m, res.Value, series[f.Len()/2])
+	}
+	res, err = f.QueryString("at(pct(class:rc4 / established), 1999-01)")
+	if err != nil || res.Value != 0 {
+		t.Errorf("at(missing month) = %v, %v, want 0", res.Value, err)
+	}
+}
+
+// TestQueryWildcardColumn pins family wildcards: curve:* is the element-wise
+// sum of every observed curve column.
+func TestQueryWildcardColumn(t *testing.T) {
+	f := sharedFrame(t)
+	vals, err := f.EvalSeries(q("curve:*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.Len(); i++ {
+		want := 0
+		for _, c := range f.Curve {
+			want += c[i]
+		}
+		if vals[i] != float64(want) {
+			t.Fatalf("curve:* row %d = %v, want %d", i, vals[i], want)
+		}
+	}
+}
+
+// TestQueryCaseInsensitive: selectors, op names and aliases fold.
+func TestQueryCaseInsensitive(t *testing.T) {
+	f := sharedFrame(t)
+	a, err := f.QueryString("pct(version:tls12 / established)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.QueryString("PCT(Version:TLSv12 / ESTABLISHED)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.QueryString("ratio(version:tls12 / established)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []QueryResult{b, c} {
+		if !reflect.DeepEqual(a.Series.Points, other.Series.Points) {
+			t.Fatal("case/alias variants evaluate differently")
+		}
+	}
+	if c.Query != "pct(version:tls12 / established)" {
+		t.Errorf("ratio alias canonicalizes to %q", c.Query)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"pct(version:tls12 / established",  // unbalanced
+		"pct(version:tls12, established)",  // wrong separator
+		"no-such-column",                   // unknown name
+		"version:tls99",                    // unknown key
+		"nosuchfamily:tls12",               // unknown family
+		"at(established, 2018-13)",         // bad month
+		"at(established)",                  // missing month
+		"mean(at(established, 2018-02))",   // scalar where series expected
+		"sum(pct(adv-rc4 / total), total)", // series where column expected
+		"position(nosuchclass)",
+		"pct(version:tls12 / established) trailing",
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) accepted", src)
+		}
+	}
+	// EvalSeries rejects scalar-kind expressions, EvalScalar series-kind.
+	f := sharedFrame(t)
+	if _, err := f.EvalSeries(q("count(total)")); err == nil {
+		t.Error("EvalSeries accepted a scalar expression")
+	}
+	if _, err := f.EvalScalar(q("pct(adv-rc4 / total)")); err == nil {
+		t.Error("EvalScalar accepted a series expression")
+	}
+}
+
+// randomExpr generates a valid expression tree of bounded depth for the
+// round-trip property tests.
+func randomExpr(rnd *rand.Rand, wantKind Kind, depth int) *Expr {
+	cols := []string{
+		"total", "established", "fingerprints", "adv-rc4", "neg-aead",
+		"kex-forward-secret", "version:tls12", "version:ssl3", "class:aead",
+		"kex:ecdhe", "ext:heartbeat", "curve:x25519", "curve:*", "tls13:tls13-google",
+	}
+	column := func() *Expr { return &Expr{Op: OpCol, Col: cols[rnd.Intn(len(cols))]} }
+	months := []string{"2012-02", "2015-09", "2018-04", "1999-01"}
+	classes := []string{"aead", "cbc", "rc4", "des", "3des"}
+	switch wantKind {
+	case KindColumn:
+		if depth <= 0 || rnd.Intn(2) == 0 {
+			return column()
+		}
+		n := 1 + rnd.Intn(3)
+		args := make([]*Expr, n)
+		for i := range args {
+			args[i] = randomExpr(rnd, KindColumn, depth-1)
+		}
+		return &Expr{Op: OpSum, Args: args}
+	case KindSeries:
+		switch rnd.Intn(3) {
+		case 0:
+			return &Expr{Op: OpPosition, Class: classes[rnd.Intn(len(classes))]}
+		case 1:
+			return randomExpr(rnd, KindColumn, depth-1)
+		default:
+			return &Expr{Op: OpPct, Args: []*Expr{
+				randomExpr(rnd, KindColumn, depth-1),
+				randomExpr(rnd, KindColumn, depth-1),
+			}}
+		}
+	default:
+		switch rnd.Intn(4) {
+		case 0:
+			return &Expr{Op: OpAt, Month: months[rnd.Intn(len(months))],
+				Args: []*Expr{randomExpr(rnd, KindSeries, depth-1)}}
+		case 1:
+			return &Expr{Op: OpOver, Args: []*Expr{
+				randomExpr(rnd, KindColumn, depth-1),
+				randomExpr(rnd, KindColumn, depth-1),
+			}}
+		case 2:
+			return &Expr{Op: OpCount, Args: []*Expr{randomExpr(rnd, KindColumn, depth-1)}}
+		default:
+			reds := []string{OpMean, OpMin, OpMax, OpFirst, OpLast}
+			return &Expr{Op: reds[rnd.Intn(len(reds))],
+				Args: []*Expr{randomExpr(rnd, KindSeries, depth-1)}}
+		}
+	}
+}
+
+// TestExprJSONRoundTripProperty: random valid expressions survive
+// marshal→unmarshal bit-exactly, their text form re-parses to the same
+// tree, and both forms evaluate identically.
+func TestExprJSONRoundTripProperty(t *testing.T) {
+	f := sharedFrame(t)
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		e := randomExpr(rnd, Kind(rnd.Intn(3)), 3)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("generated invalid expr %s: %v", e, err)
+		}
+
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", e, err)
+		}
+		var decoded Expr
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if !reflect.DeepEqual(&decoded, e) {
+			t.Fatalf("JSON round trip changed the tree:\n%s\n%s", e, &decoded)
+		}
+
+		reparsed, err := ParseQuery(e.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e, err)
+		}
+		if !reflect.DeepEqual(reparsed, e) {
+			t.Fatalf("text round trip changed the tree: %q -> %q", e, reparsed)
+		}
+
+		want, err := f.Query(e)
+		if err != nil {
+			t.Fatalf("eval %s: %v", e, err)
+		}
+		got, err := f.Query(&decoded)
+		if err != nil {
+			t.Fatalf("eval decoded %s: %v", &decoded, err)
+		}
+		if want.Kind != got.Kind || want.Value != got.Value ||
+			!reflect.DeepEqual(want.Series.Points, got.Series.Points) {
+			t.Fatalf("decoded tree evaluates differently: %s", e)
+		}
+	}
+}
+
+// FuzzParseQuery: the parser must never panic, and any accepted input must
+// reach the parse→format→parse fixpoint.
+func FuzzParseQuery(fz *testing.F) {
+	for _, spec := range Catalog() {
+		for _, m := range spec.Metrics {
+			fz.Add(m.Expr.String())
+		}
+	}
+	fz.Add("at(pct(adv-tls13 / total), 2018-04)")
+	fz.Add("over(null-negotiated / established)")
+	fz.Add("max(pct(curve:x25519 / curve:*))")
+	fz.Add("position(3des)")
+	fz.Add("sum(kex:ecdhe, kex:tls13")
+	fz.Add("pct((()))//,")
+	fz.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		canonical := e.String()
+		again, err := ParseQuery(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q fails to parse: %v", canonical, src, err)
+		}
+		if got := again.String(); got != canonical {
+			t.Fatalf("no fixpoint: %q -> %q -> %q", src, canonical, got)
+		}
+	})
+}
+
+// TestQueryEvalAllocs pins the interpreter's allocation discipline: a
+// validated catalog-shaped query allocates only its result slice, and a
+// sum-based query adds exactly one scratch column — no per-month garbage.
+func TestQueryEvalAllocs(t *testing.T) {
+	f := sharedFrame(t)
+	pct := q("pct(version:tls12 / established)")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := f.EvalSeries(pct); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("pct query: %.1f allocs/run, want 1 (the result slice)", n)
+	}
+	sum := q("pct(sum(kex:ecdhe, kex:tls13) / established)")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := f.EvalSeries(sum); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Errorf("sum query: %.1f allocs/run, want 2 (result + one scratch column)", n)
+	}
+	// Scalar reads allocate at most the intermediate series.
+	at := q("at(pct(adv-tls13 / total), 2018-04)")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := f.EvalScalar(at); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("at query: %.1f allocs/run, want 1", n)
+	}
+}
+
+// TestConcurrentCatalogEval hammers the shared catalog specs from many
+// goroutines (run under -race): Validate and evaluation must never write to
+// the shared expression trees, or concurrent /figures requests would race.
+func TestConcurrentCatalogEval(t *testing.T) {
+	f := sharedFrame(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if figs := f.Figures(); len(figs) != 10 {
+					t.Error("figure count")
+					return
+				}
+				for _, spec := range Catalog() {
+					for _, m := range spec.Metrics {
+						if err := m.Expr.Validate(); err != nil {
+							t.Errorf("validate %s: %v", m.Expr, err)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestColumnNames: the discoverable vocabulary is sorted and resolvable.
+func TestColumnNames(t *testing.T) {
+	names := ColumnNames()
+	if len(names) != len(namedColumns) {
+		t.Fatalf("ColumnNames lists %d of %d", len(names), len(namedColumns))
+	}
+	if !strings.HasPrefix(names[0], "adv-") {
+		t.Errorf("names not sorted: %v", names[:3])
+	}
+	f := sharedFrame(t)
+	for _, n := range names {
+		if _, err := f.QueryString(n); err != nil {
+			t.Errorf("column %q does not evaluate: %v", n, err)
+		}
+	}
+}
+
+// TestQueryResultJSONRoundTrip covers the client path: a served result
+// decodes back into an equal value (modulo the series month index).
+func TestQueryResultJSONRoundTrip(t *testing.T) {
+	f := sharedFrame(t)
+	for _, src := range []string{"pct(class:aead / established)", "count(total)"} {
+		want, err := f.QueryString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got QueryResult
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Query != want.Query || got.Kind != want.Kind || got.Value != want.Value ||
+			!reflect.DeepEqual(got.Series.Points, want.Series.Points) {
+			t.Errorf("%s: round trip changed the result", src)
+		}
+		// The decoded series still answers Value lookups (linear fallback).
+		if want.Kind == "series" {
+			m := f.Months[0]
+			wv, _ := want.Series.Value(m)
+			gv, ok := got.Series.Value(m)
+			if !ok || gv != wv {
+				t.Errorf("%s: decoded Value(%v) = %v,%v want %v", src, m, gv, ok, wv)
+			}
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tlsage/internal/notary"
-	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
 
@@ -25,23 +24,22 @@ type AttackImpact struct {
 func (a AttackImpact) Delta12() float64 { return a.After12 - a.Before }
 
 // impactMetrics pairs each event with the series the paper reads it
-// against, expressed in the same evaluator vocabulary as the figure
-// catalog. The forward-secrecy metric reads the frame's build-time
-// KexForwardSecret column instead of re-classifying key exchanges per call.
+// against, expressed in the same query grammar as the figure catalog. The
+// forward-secrecy metric reads the frame's build-time KexForwardSecret
+// column instead of re-classifying key exchanges per call.
 var impactMetrics = []struct {
 	event  string
 	metric string
-	eval   MetricEval
+	expr   *Expr
 }{
-	{timeline.EventRC4, "RC4 negotiated %", overEstablished(classCol("RC4"))},
-	{timeline.EventRC4NoMore, "RC4 advertised %", overTotal(func(f *Frame) []int { return f.AdvRC4 })},
-	{timeline.EventSnowden, "forward-secret negotiated %",
-		overEstablished(func(f *Frame) []int { return f.KexForwardSecret })},
-	{timeline.EventLucky13, "CBC negotiated %", overEstablished(classCol("CBC"))},
-	{timeline.EventPOODLE, "SSL3 negotiated %", overEstablished(versionCol(registry.VersionSSL3))},
-	{timeline.EventSweet32, "3DES advertised %", overTotal(func(f *Frame) []int { return f.Adv3DES })},
-	{timeline.EventFREAK, "export advertised %", overTotal(func(f *Frame) []int { return f.AdvExport })},
-	{timeline.EventHeartbleed, "heartbeat offered %", overTotal(func(f *Frame) []int { return f.OffersHeartbeat })},
+	{timeline.EventRC4, "RC4 negotiated %", q("pct(class:rc4 / established)")},
+	{timeline.EventRC4NoMore, "RC4 advertised %", q("pct(adv-rc4 / total)")},
+	{timeline.EventSnowden, "forward-secret negotiated %", q("pct(kex-forward-secret / established)")},
+	{timeline.EventLucky13, "CBC negotiated %", q("pct(class:cbc / established)")},
+	{timeline.EventPOODLE, "SSL3 negotiated %", q("pct(version:ssl3 / established)")},
+	{timeline.EventSweet32, "3DES advertised %", q("pct(adv-3des / total)")},
+	{timeline.EventFREAK, "export advertised %", q("pct(adv-export / total)")},
+	{timeline.EventHeartbleed, "heartbeat offered %", q("pct(offers-heartbeat / total)")},
 }
 
 // AttackImpacts evaluates every event/metric pair available in the
@@ -71,7 +69,7 @@ func AttackImpactsFrame(f *Frame) []AttackImpact {
 				ev = e
 			}
 		}
-		vals := im.eval(f)
+		vals := f.evalSeries(im.expr)
 		out = append(out, AttackImpact{
 			Event:   ev,
 			Metric:  im.metric,

@@ -1,6 +1,9 @@
 package analysis
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // JSON marshalling for the query-service wire format. The shapes are
 // deliberately flat and lowercase so the endpoints are pleasant to consume
@@ -14,12 +17,79 @@ func (p Point) MarshalJSON() ([]byte, error) {
 	}{p.Month.String(), p.Value})
 }
 
+// UnmarshalJSON parses the wire shape back into a point (the remote-query
+// client path).
+func (p *Point) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Month string  `json:"month"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	m, err := parseMonth(raw.Month)
+	if err != nil {
+		return err
+	}
+	p.Month, p.Value = m, raw.Value
+	return nil
+}
+
 // MarshalJSON renders a series as its name plus monthly points.
 func (s Series) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Name   string  `json:"name"`
 		Points []Point `json:"points"`
 	}{s.Name, s.Points})
+}
+
+// UnmarshalJSON parses a series; the month index is left nil, so Value
+// falls back to a linear scan.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Name   string  `json:"name"`
+		Points []Point `json:"points"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	s.Name, s.Points, s.index = raw.Name, raw.Points, nil
+	return nil
+}
+
+// queryResultJSON is the wire shape of a query answer; Series is present
+// only for series results.
+type queryResultJSON struct {
+	Query  string  `json:"query"`
+	Kind   string  `json:"kind"`
+	Series *Series `json:"series,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// MarshalJSON renders a query result with its canonical query text.
+func (r QueryResult) MarshalJSON() ([]byte, error) {
+	out := queryResultJSON{Query: r.Query, Kind: r.Kind, Value: r.Value}
+	if r.Kind == "series" {
+		s := r.Series
+		out.Series = &s
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses a served query result (the remote-query client path).
+func (r *QueryResult) UnmarshalJSON(b []byte) error {
+	var raw queryResultJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw.Kind != "series" && raw.Kind != "scalar" {
+		return fmt.Errorf("query result kind %q (want series or scalar)", raw.Kind)
+	}
+	*r = QueryResult{Query: raw.Query, Kind: raw.Kind, Value: raw.Value}
+	if raw.Series != nil {
+		r.Series = *raw.Series
+	}
+	return nil
 }
 
 // figureEventJSON is the wire shape of one attack-event marker.
@@ -54,19 +124,30 @@ func (s Scalar) MarshalJSON() ([]byte, error) {
 	}{s.ID, s.Name, s.Paper, s.Measured, s.Deviation(), s.Unit})
 }
 
-// MarshalJSON renders a catalog entry as metadata: the metric evaluators are
-// functions, so only the series names travel.
+// metricSpecJSON is the wire shape of one catalog metric: its series name
+// and its expression in the query grammar, so any catalog series can be
+// re-evaluated through POST /query.
+type metricSpecJSON struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+// MarshalJSON renders a catalog entry as metadata. The legacy "series" name
+// list is kept alongside the expression-bearing "metrics".
 func (s FigureSpec) MarshalJSON() ([]byte, error) {
 	series := make([]string, 0, len(s.Metrics))
+	metrics := make([]metricSpecJSON, 0, len(s.Metrics))
 	for _, m := range s.Metrics {
 		series = append(series, m.Name)
+		metrics = append(metrics, metricSpecJSON{Name: m.Name, Query: m.Expr.String()})
 	}
 	return json.Marshal(struct {
-		Num    int      `json:"num"`
-		ID     string   `json:"id"`
-		Name   string   `json:"name"`
-		Title  string   `json:"title"`
-		Series []string `json:"series"`
-		Events []string `json:"events,omitempty"`
-	}{s.Num, s.ID, s.Name, s.Title, series, s.Events})
+		Num     int              `json:"num"`
+		ID      string           `json:"id"`
+		Name    string           `json:"name"`
+		Title   string           `json:"title"`
+		Series  []string         `json:"series"`
+		Metrics []metricSpecJSON `json:"metrics"`
+		Events  []string         `json:"events,omitempty"`
+	}{s.Num, s.ID, s.Name, s.Title, series, metrics, s.Events})
 }

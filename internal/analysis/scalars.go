@@ -9,7 +9,6 @@ import (
 	"tlsage/internal/clientdb"
 	"tlsage/internal/fingerprint"
 	"tlsage/internal/notary"
-	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
 
@@ -37,78 +36,62 @@ func PassiveScalars(agg *notary.Aggregate) []Scalar {
 	return PassiveScalarsFrame(NewFrame(agg))
 }
 
+// passiveScalarSpecs declares the unconditional passive scalars as query
+// expressions: a monthly pct read through at(), matching the figure
+// convention that a missing month or empty denominator yields 0.
+var passiveScalarSpecs = []struct {
+	ID, Name string
+	Paper    float64
+	Expr     *Expr
+}{
+	{"S-F1a", "TLS 1.0 negotiated, Feb 2018", 2.8, q("at(pct(version:tls10 / established), 2018-02)")},
+	{"S-F1b", "TLS 1.2 negotiated, Feb 2018", 90, q("at(pct(version:tls12 / established), 2018-02)")},
+	{"S7a", "TLS 1.3 client support, Feb 2018", 0.5, q("at(pct(adv-tls13 / total), 2018-02)")},
+	{"S7b", "TLS 1.3 client support, Mar 2018", 9.8, q("at(pct(adv-tls13 / total), 2018-03)")},
+	{"S7c", "TLS 1.3 client support, Apr 2018", 23.6, q("at(pct(adv-tls13 / total), 2018-04)")},
+	{"S7d", "TLS 1.3 negotiated, Apr 2018", 1.3, q("at(pct(version:tls13 / established), 2018-04)")},
+	{"S3c", "heartbeat negotiated, 2018", 3.0, q("at(pct(heartbeat-ack / total), 2018-03)")},
+	{"S-F3a", "3DES advertised, Mar 2018", 69, q("at(pct(adv-3des / total), 2018-03)")},
+	{"S-F7a", "export advertised, 2012", 28.19, q("at(pct(adv-export / total), 2012-06)")},
+	{"S-F7b", "export advertised, 2018", 1.03, q("at(pct(adv-export / total), 2018-03)")},
+}
+
 // PassiveScalarsFrame extracts the passive scalars from a frame snapshot.
-// Every lookup is a row index into a dense column.
+// Every value is the evaluation of a serializable query expression; the few
+// rows the seed emitted conditionally keep their presence guards.
 func PassiveScalarsFrame(f *Frame) []Scalar {
-	var out []Scalar
-	row := func(y int, m time.Month) int {
-		if i, ok := f.Row(timeline.M(y, m)); ok {
-			return i
-		}
-		return -1 // pctAt yields 0 for missing months
+	out := make([]Scalar, 0, len(passiveScalarSpecs)+6)
+	for _, s := range passiveScalarSpecs {
+		out = append(out, Scalar{s.ID, s.Name, s.Paper, f.evalScalar(s.Expr), "%"})
 	}
 
-	feb18 := row(2018, time.February)
-	mar18 := row(2018, time.March)
-	apr18 := row(2018, time.April)
-
-	out = append(out,
-		Scalar{"S-F1a", "TLS 1.0 negotiated, Feb 2018", 2.8,
-			pctAt(f.Version[registry.VersionTLS10], f.Established, feb18), "%"},
-		Scalar{"S-F1b", "TLS 1.2 negotiated, Feb 2018", 90,
-			pctAt(f.Version[registry.VersionTLS12], f.Established, feb18), "%"},
-		Scalar{"S7a", "TLS 1.3 client support, Feb 2018", 0.5,
-			pctAt(f.AdvTLS13, f.Total, feb18), "%"},
-		Scalar{"S7b", "TLS 1.3 client support, Mar 2018", 9.8,
-			pctAt(f.AdvTLS13, f.Total, mar18), "%"},
-		Scalar{"S7c", "TLS 1.3 client support, Apr 2018", 23.6,
-			pctAt(f.AdvTLS13, f.Total, apr18), "%"},
-		Scalar{"S7d", "TLS 1.3 negotiated, Apr 2018", 1.3,
-			pctAt(f.Version[registry.VersionTLS13], f.Established, apr18), "%"},
-		Scalar{"S3c", "heartbeat negotiated, 2018", 3.0,
-			pctAt(f.HeartbeatAck, f.Total, mar18), "%"},
-		Scalar{"S-F3a", "3DES advertised, Mar 2018", 69,
-			pctAt(f.Adv3DES, f.Total, mar18), "%"},
-		Scalar{"S-F7a", "export advertised, 2012", 28.19,
-			pctAt(f.AdvExport, f.Total, row(2012, time.June)), "%"},
-		Scalar{"S-F7b", "export advertised, 2018", 1.03,
-			pctAt(f.AdvExport, f.Total, mar18), "%"},
-	)
-
 	// Whole-dataset NULL and anonymous negotiation rates (§6.1, §6.2).
-	est := sumCol(f.Established)
-	if est > 0 {
+	if sumCol(f.Established) > 0 {
 		out = append(out,
 			Scalar{"S-61", "NULL negotiated, whole dataset", 2.84,
-				100 * float64(sumCol(f.NULLNegotiated)) / float64(est), "%"},
+				f.evalScalar(q("over(null-negotiated / established)")), "%"},
 			Scalar{"S-62", "anonymous negotiated, whole dataset", 0.17,
-				100 * float64(sumCol(f.AnonNegotiated)) / float64(est), "%"},
+				f.evalScalar(q("over(anon-negotiated / established)")), "%"},
 		)
 	}
 
-	// §6.3.3 curve shares.
-	shares := CurveSharesFrame(f)
-	lookup := func(c registry.CurveID) float64 {
-		for _, s := range shares {
-			if s.Curve == c {
-				return s.Share
-			}
-		}
-		return 0
-	}
+	// §6.3.3 curve shares: each named curve over the all-curve wildcard.
 	out = append(out,
-		Scalar{"S6a", "secp256r1 share, whole dataset", 84.4, lookup(registry.CurveSecp256r1), "%"},
-		Scalar{"S6b", "secp384r1 share, whole dataset", 8.6, lookup(registry.CurveSecp384r1), "%"},
-		Scalar{"S6c", "x25519 share, whole dataset", 6.7, lookup(registry.CurveX25519), "%"},
+		Scalar{"S6a", "secp256r1 share, whole dataset", 84.4,
+			f.evalScalar(q("over(curve:secp256r1 / curve:*)")), "%"},
+		Scalar{"S6b", "secp384r1 share, whole dataset", 8.6,
+			f.evalScalar(q("over(curve:secp384r1 / curve:*)")), "%"},
+		Scalar{"S6c", "x25519 share, whole dataset", 6.7,
+			f.evalScalar(q("over(curve:x25519 / curve:*)")), "%"},
 	)
-	if feb18 >= 0 {
+	if feb18, ok := f.Row(timeline.M(2018, time.February)); ok {
 		grand := 0
 		for _, c := range f.Curve {
 			grand += c[feb18]
 		}
 		if grand > 0 {
 			out = append(out, Scalar{"S6d", "x25519 share, Feb 2018", 22.2,
-				100 * float64(at(f.Curve[registry.CurveX25519], feb18)) / float64(grand), "%"})
+				f.evalScalar(q("at(pct(curve:x25519 / curve:*), 2018-02)")), "%"})
 		}
 	}
 	return out

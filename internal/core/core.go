@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -249,7 +250,8 @@ func (s *Study) Figure(n int) (analysis.Figure, error) {
 }
 
 // FigureByName builds the catalog figure with the given name (see
-// analysis.Catalog; e.g. "fingerprint-classes" or "extensions").
+// analysis.Catalog; e.g. "fingerprint-classes" or "extensions"). Names
+// match case-insensitively; a miss lists the valid catalog names.
 func (s *Study) FigureByName(name string) (analysis.Figure, error) {
 	f, err := s.Frame()
 	if err != nil {
@@ -257,23 +259,52 @@ func (s *Study) FigureByName(name string) (analysis.Figure, error) {
 	}
 	fig, ok := f.FigureByName(name)
 	if !ok {
-		return analysis.Figure{}, fmt.Errorf("core: no figure named %q", name)
+		return analysis.Figure{}, fmt.Errorf("core: no figure named %q (valid names: %s)",
+			name, strings.Join(analysis.CatalogNames(), ", "))
 	}
 	return fig, nil
+}
+
+// Query parses src with analysis.ParseQuery and evaluates it against the
+// study's cached frame — the ad-hoc metric path beyond the figure catalog.
+func (s *Study) Query(src string) (analysis.QueryResult, error) {
+	e, err := analysis.ParseQuery(src)
+	if err != nil {
+		return analysis.QueryResult{}, err
+	}
+	return s.QueryExpr(e)
+}
+
+// QueryExpr evaluates an already-built expression (e.g. decoded from JSON)
+// against the study's cached frame.
+func (s *Study) QueryExpr(e *analysis.Expr) (analysis.QueryResult, error) {
+	f, err := s.Frame()
+	if err != nil {
+		return analysis.QueryResult{}, err
+	}
+	return f.Query(e)
 }
 
 // Scalars returns the passive and fingerprint scalar findings. Both halves
 // are computed under one shared lock acquisition, so a live report never
 // mixes two generations.
 func (s *Study) Scalars() ([]analysis.Scalar, error) {
+	out, _, err := s.ScalarsWithGeneration()
+	return out, err
+}
+
+// ScalarsWithGeneration is Scalars plus the aggregate generation the report
+// was computed against, read atomically with the report itself — the
+// service uses it to stamp staleness headers that match the body exactly.
+func (s *Study) ScalarsWithGeneration() ([]analysis.Scalar, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	f, err := s.frameLocked()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := analysis.PassiveScalarsFrame(f)
-	return append(out, analysis.FingerprintScalars(s.agg)...), nil
+	return append(out, analysis.FingerprintScalars(s.agg)...), f.Generation(), nil
 }
 
 // Impacts returns the §7.4 attack-impact rows.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"tlsage/internal/analysis"
 	"tlsage/internal/notary"
 	"tlsage/internal/registry"
 	"tlsage/internal/scanner"
@@ -399,12 +400,65 @@ func TestStudyFigureByName(t *testing.T) {
 	if err != nil || ext.ID != "Figure E1" {
 		t.Fatalf("extensions figure: %v %s", err, ext.ID)
 	}
+	if upper, err := s.FigureByName("Fingerprint-Classes"); err != nil || upper.ID != "Figure 4" {
+		t.Errorf("case-insensitive lookup: %v %s", err, upper.ID)
+	}
 	if _, err := s.FigureByName("nope"); err == nil {
 		t.Error("unknown figure name should error")
+	} else if !strings.Contains(err.Error(), "versions") {
+		t.Errorf("miss error %q does not list the valid names", err)
 	}
 	impacts, err := s.Impacts()
 	if err != nil || len(impacts) < 6 {
 		t.Fatalf("Impacts: %v (%d rows)", err, len(impacts))
+	}
+}
+
+// TestStudyQuery pins the ad-hoc query path: text and Expr forms answer
+// identically, catalog-equivalent expressions match the figure engine, and
+// errors surface for malformed input and unrun studies.
+func TestStudyQuery(t *testing.T) {
+	s := sharedStudy(t)
+	res, err := s.Query("pct(version:tls12 / established)")
+	if err != nil || res.Kind != "series" {
+		t.Fatalf("Query: %v (%+v)", err, res.Kind)
+	}
+	fig, err := s.Figure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := fig.SeriesByName("TLSv12")
+	if !ok {
+		t.Fatal("no TLSv12 series")
+	}
+	if len(res.Series.Points) != len(want.Points) {
+		t.Fatalf("query series has %d points, figure %d", len(res.Series.Points), len(want.Points))
+	}
+	for i, p := range want.Points {
+		if res.Series.Points[i] != p {
+			t.Fatalf("query diverges from the catalog at %v", p.Month)
+		}
+	}
+
+	e, err := analysis.ParseQuery("over(null-negotiated / established)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byExpr, err := s.QueryExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byText, err := s.Query("over(null-negotiated / established)")
+	if err != nil || byExpr.Value != byText.Value || byExpr.Kind != "scalar" {
+		t.Errorf("QueryExpr %v/%v vs Query %v (err %v)", byExpr.Value, byExpr.Kind, byText.Value, err)
+	}
+
+	if _, err := s.Query("pct(bogus / total)"); err == nil {
+		t.Error("bad column should error")
+	}
+	var unrun Study
+	if _, err := unrun.Query("count(total)"); err == nil {
+		t.Error("query before Run should error")
 	}
 }
 

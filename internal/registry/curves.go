@@ -79,6 +79,20 @@ func (c CurveID) Known() bool {
 	return ok
 }
 
+// AllCurves returns the registered named groups in ascending order.
+func AllCurves() []CurveID {
+	out := make([]CurveID, 0, len(curveNames))
+	for c := range curveNames {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
 // ECPointFormat is a value from the "EC Point Formats" registry.
 type ECPointFormat uint8
 

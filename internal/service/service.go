@@ -12,8 +12,17 @@
 //	GET  /figures         every catalog figure, evaluated on a frame snapshot
 //	GET  /figure/{name}   one figure by catalog name ("versions") or number ("1")
 //	GET  /scalars         the paper-vs-measured scalar report
-//	GET  /metrics         the declarative figure catalog (metadata only)
+//	GET  /metrics         the declarative figure catalog (incl. each series'
+//	                      query expression)
+//	POST /query           evaluate an ad-hoc metric expression: a JSON body
+//	                      {"query": "pct(version:tls12 / established)"} or
+//	                      {"expr": {...}} (the analysis.Expr JSON encoding)
 //	GET  /healthz         liveness: record count, generation, month count
+//
+// Every JSON response carries an X-Generation header with the served
+// aggregate generation, so pollers can detect staleness without
+// re-downloading bodies. Multiple named studies are hosted by a Router
+// (router.go), which nests a whole Server under /studies/{id}/.
 //
 // Ingestion is sharded: each stream parses into a private notary.Aggregate
 // (no lock contention on the parse) and folds into the live study via
@@ -95,6 +104,7 @@ func NewServer(study *core.Study, opts ...Option) *Server {
 	mux.HandleFunc("GET /figure/{name}", s.handleFigure)
 	mux.HandleFunc("GET /scalars", s.handleScalars)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
 	return s
@@ -221,8 +231,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// setGeneration stamps the X-Generation staleness header: the aggregate
+// generation the response was computed against. Pollers compare headers
+// instead of re-downloading bodies.
+func (s *Server) setGeneration(w http.ResponseWriter) {
+	if _, _, gen, err := s.study.Counts(); err == nil {
+		w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
+	}
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	st, err := s.ingest(r.Body)
+	s.setGeneration(w)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{
 			"error":      err.Error(),
@@ -235,43 +255,98 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
-	figs, err := s.study.Figures()
+	f, err := s.study.Frame()
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, figs)
+	w.Header().Set("X-Generation", strconv.FormatUint(f.Generation(), 10))
+	writeJSON(w, http.StatusOK, f.Figures())
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	f, err := s.study.Frame()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("X-Generation", strconv.FormatUint(f.Generation(), 10))
 	var (
 		fig analysis.Figure
-		err error
+		ok  bool
 	)
 	if n, convErr := strconv.Atoi(name); convErr == nil {
-		fig, err = s.study.Figure(n)
+		fig, ok = f.FigureByNum(n)
 	} else {
-		fig, err = s.study.FigureByName(name)
+		fig, ok = f.FigureByName(name) // case-insensitive catalog lookup
 	}
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	if !ok {
+		// The miss body lists the valid catalog names so clients can
+		// self-correct without a second /metrics round trip.
+		writeJSON(w, http.StatusNotFound, map[string]any{
+			"error": fmt.Sprintf("no figure %q", name),
+			"valid": analysis.CatalogNames(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, fig)
 }
 
 func (s *Server) handleScalars(w http.ResponseWriter, r *http.Request) {
-	scalars, err := s.study.Scalars()
+	scalars, gen, err := s.study.ScalarsWithGeneration()
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
 	writeJSON(w, http.StatusOK, scalars)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.setGeneration(w)
 	writeJSON(w, http.StatusOK, analysis.Catalog())
+}
+
+// queryRequest is the POST /query body: either the text grammar or the
+// Expr JSON encoding (query wins when both are present).
+type queryRequest struct {
+	Query string         `json:"query"`
+	Expr  *analysis.Expr `json:"expr"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.setGeneration(w)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding query request: %w", err))
+		return
+	}
+	// Evaluate against one frame snapshot and stamp its own generation, so
+	// the header always describes exactly the data in the body even while
+	// ingestion advances the study.
+	f, err := s.study.Frame()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("X-Generation", strconv.FormatUint(f.Generation(), 10))
+	var res analysis.QueryResult
+	switch {
+	case req.Query != "":
+		res, err = f.QueryString(req.Query)
+	case req.Expr != nil:
+		res, err = f.Query(req.Expr)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf(`empty query request (want {"query": "..."} or {"expr": {...}})`))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +355,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"records":    records,
