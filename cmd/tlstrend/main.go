@@ -6,8 +6,8 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b]  live notary service: TSV ingest + JSON query endpoints
-//	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N]  stream a log or a live simulation into a server
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N]  live notary service: TSV ingest + JSON query endpoints, durable snapshots, restart recovery
+//	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-retry N]  stream a log or a live simulation into a server
 //	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
@@ -227,8 +227,39 @@ func cmdServe(args []string) error {
 	outPath := fs.String("out", "", "tee every record ingested into the default study to this TSV log")
 	flush := fs.Int("flush", 0, "records per ingest shard before merging (0 = default)")
 	studies := fs.String("studies", "notary", "comma-separated study ids to host; the first is the default")
+	snapDir := fs.String("snapshot-dir", "", "durable snapshot directory for the default study (enables crash recovery)")
+	snapEvery := fs.Uint64("snapshot-every", 50000, "snapshot after this many new records (0 = off)")
+	snapInterval := fs.Duration("snapshot-interval", 30*time.Second, "snapshot on this timer when records arrived (0 = off)")
+	snapKeep := fs.Int("snapshot-keep", service.DefaultSnapshotKeep, "snapshots to retain")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent ingest streams before shedding with 429/busy (0 = unbounded)")
+	maxBody := fs.Int64("max-body", 0, "max POST /ingest body bytes, answered with 413 beyond (0 = unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "idle read deadline on raw-TCP ingest connections (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Restart recovery for the default study: newest intact snapshot plus
+	// the tail of the previous run's -out log, before os.Create truncates it.
+	defaultStudy := core.NewLiveStudy()
+	if *snapDir != "" || *outPath != "" {
+		st, info, err := service.RecoverStudy(*snapDir, *outPath, nil)
+		if err != nil {
+			return fmt.Errorf("recovering previous state: %w", err)
+		}
+		defaultStudy = st
+		if info.Records() > 0 {
+			fmt.Fprintf(os.Stderr, "recovered %d records (%d from snapshot %s, %d replayed from %s)\n",
+				info.Records(), info.SnapshotRecords, info.SnapshotPath, info.ReplayedRecords, *outPath)
+		}
+		// Compact: one fresh snapshot now covers everything recovered, so
+		// truncating the log below loses nothing.
+		if *snapDir != "" && info.Records() > 0 {
+			_, gen, err := service.WriteStudySnapshot(*snapDir, st, *snapKeep)
+			if err != nil {
+				return fmt.Errorf("compacting recovered state: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "compacted recovery into snapshot generation %d\n", gen)
+		}
 	}
 
 	var logFile *os.File
@@ -236,16 +267,33 @@ func cmdServe(args []string) error {
 	var srv *service.Server // the default study's server (TCP ingest, -out tee)
 	for i, id := range strings.Split(*studies, ",") {
 		id = strings.TrimSpace(id)
-		opts := []service.Option{service.WithFlushEvery(*flush)}
-		if i == 0 && *outPath != "" {
-			f, err := os.Create(*outPath)
-			if err != nil {
-				return err
-			}
-			logFile = f
-			opts = append(opts, service.WithLogSink(notary.NewLogWriter(f)))
+		opts := []service.Option{
+			service.WithFlushEvery(*flush),
+			service.WithMaxInFlight(*maxInflight),
+			service.WithMaxBodyBytes(*maxBody),
+			service.WithIdleTimeout(*idleTimeout),
 		}
-		s := service.NewServer(core.NewLiveStudy(), opts...)
+		study := core.NewLiveStudy()
+		if i == 0 {
+			study = defaultStudy
+			if *outPath != "" {
+				f, err := os.Create(*outPath)
+				if err != nil {
+					return err
+				}
+				logFile = f
+				opts = append(opts, service.WithLogSink(notary.NewLogWriter(f)))
+			}
+			if *snapDir != "" {
+				opts = append(opts, service.WithDurability(service.DurabilityOptions{
+					Dir:          *snapDir,
+					EveryRecords: *snapEvery,
+					Interval:     *snapInterval,
+					Keep:         *snapKeep,
+				}))
+			}
+		}
+		s := service.NewServer(study, opts...)
 		if err := rt.Add(id, s); err != nil {
 			return err
 		}
@@ -317,7 +365,10 @@ func cmdServe(args []string) error {
 }
 
 // cmdFeed streams records into a running serve instance: either a replay of
-// a TSV connection log or a live simulation encoded on the fly.
+// a TSV connection log or a live simulation encoded on the fly. With -retry,
+// a stream the server sheds under load (HTTP 429 or a TCP "busy" line) is
+// retried with exponential backoff and jitter, honoring the server's
+// Retry-After hint.
 func cmdFeed(args []string) error {
 	fs := flag.NewFlagSet("feed", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL (HTTP ingest)")
@@ -326,92 +377,56 @@ func cmdFeed(args []string) error {
 	conns := fs.Int("conns", 1000, "connections per month when simulating")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
+	retry := fs.Int("retry", 0, "retries when the server sheds the stream under load (0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var body io.Reader
+	// The stream must be reopenable: a shed attempt restarts from the top,
+	// so each try replays the file — or re-runs the deterministic simulation.
+	var open func() (io.ReadCloser, error)
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		body = f
+		open = func() (io.ReadCloser, error) { return os.Open(*in) }
 	} else {
-		// Live replay: the simulator streams TSV straight into the request
-		// body, so the feeder holds no more than the pipe's buffer.
 		opts := simulate.DefaultOptions(*conns)
 		opts.Seed = *seed
 		opts.Workers = *workers
-		pr, pw := io.Pipe()
-		go func() {
-			lw := notary.NewLogWriter(pw)
-			err := simulate.New(opts).Run(lw)
-			if err == nil {
-				err = lw.Close()
-			}
-			pw.CloseWithError(err)
-		}()
-		body = pr
+		open = func() (io.ReadCloser, error) {
+			// Live replay: the simulator streams TSV straight into the
+			// request body, so the feeder holds no more than the pipe's
+			// buffer. The same seed reproduces the same stream on a retry.
+			pr, pw := io.Pipe()
+			go func() {
+				lw := notary.NewLogWriter(pw)
+				err := simulate.New(opts).Run(lw)
+				if err == nil {
+					err = lw.Close()
+				}
+				pw.CloseWithError(err)
+			}()
+			return pr, nil
+		}
 	}
 
+	fopts := service.FeedOptions{
+		MaxRetries: *retry,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
 	start := time.Now()
+	var res service.FeedResult
+	var err error
 	if *tcpAddr != "" {
-		return feedTCP(*tcpAddr, body, start)
+		res, err = service.FeedTCP(*tcpAddr, open, fopts)
+	} else {
+		res, err = service.FeedHTTP(*addr, open, fopts)
 	}
-	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/ingest", "text/tab-separated-values", body)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if err != nil {
-		return fmt.Errorf("feed: reading server reply: %w", err)
-	}
-	var reply struct {
-		Records    int    `json:"records"`
-		Generation uint64 `json:"generation"`
-		Error      string `json:"error"`
-	}
-	if err := json.Unmarshal(raw, &reply); err != nil {
-		// Not a tlstrend serve reply (wrong port, proxy error page, ...):
-		// report the status line and what came back rather than a JSON error.
-		return fmt.Errorf("feed: server replied %s: %s", resp.Status, strings.TrimSpace(string(raw)))
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("feed: server rejected stream after %d records: %s", reply.Records, reply.Error)
-	}
-	fmt.Fprintf(os.Stderr, "fed %d records in %v (server generation %d)\n",
-		reply.Records, time.Since(start).Round(time.Millisecond), reply.Generation)
-	return nil
-}
-
-// feedTCP streams body over a raw TCP connection and reports the server's
-// one-line status reply.
-func feedTCP(addr string, body io.Reader, start time.Time) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	// A server that hits a malformed line stops reading mid-stream, which can
-	// fail this copy — still try to collect the status line, which names the
-	// bad line, before falling back to the transport error.
-	_, copyErr := io.Copy(conn, body)
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.CloseWrite()
-	}
-	reply, _ := io.ReadAll(conn)
-	line := strings.TrimSpace(string(reply))
-	if line == "" && copyErr != nil {
-		return fmt.Errorf("feed: streaming to %s: %w", addr, copyErr)
-	}
-	if !strings.HasPrefix(line, "ok ") {
-		return fmt.Errorf("feed: %s", line)
-	}
-	fmt.Fprintf(os.Stderr, "fed stream in %v (server said %q)\n",
-		time.Since(start).Round(time.Millisecond), line)
+	fmt.Fprintf(os.Stderr, "fed %d records in %v (server generation %d, %d attempt(s))\n",
+		res.Records, time.Since(start).Round(time.Millisecond), res.Generation, res.Attempts)
 	return nil
 }
 

@@ -74,6 +74,34 @@ func NewLiveStudy() *Study {
 	}
 }
 
+// NewStudyFromAggregate wraps an already-built aggregate — typically one
+// decoded from a durable snapshot — as a live study: queries answer off the
+// recovered months immediately and further records arrive through
+// IngestSink or MergeShard. This is the restart-recovery constructor.
+func NewStudyFromAggregate(agg *notary.Aggregate) *Study {
+	return &Study{
+		agg: agg,
+		db:  fingerprint.BuildDefault(),
+	}
+}
+
+// WriteSnapshot serializes the study's aggregate to w in the versioned
+// notary snapshot format, under the shared read lock so a concurrent merge
+// never tears the encoding. It returns the generation the snapshot
+// captured; because generations count ingested records, the value doubles
+// as the record count a recovery must skip when replaying the TSV log tail.
+func (s *Study) WriteSnapshot(w io.Writer) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.agg == nil {
+		return 0, fmt.Errorf("core: study has no aggregate (use NewLiveStudy or Run first)")
+	}
+	if err := notary.WriteSnapshot(w, s.agg); err != nil {
+		return 0, err
+	}
+	return s.agg.Generation(), nil
+}
+
 // Run executes the simulation and aggregation. When logWriter is non-nil
 // every connection record is additionally streamed to it as a Bro-style TSV
 // log. Extra sinks (network forwarders, extra indices, ...) can be teed in

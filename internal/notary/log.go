@@ -53,6 +53,19 @@ func (lw *LogWriter) Count() int64 { return lw.n }
 // Flush flushes the underlying buffer.
 func (lw *LogWriter) Flush() error { return lw.w.Flush() }
 
+// LineError tags a malformed log line with its 1-based line number. It
+// separates input the *producer* must fix (a bad line in the stream) from
+// internal failures of the consuming sink — the live service maps the former
+// to 4xx responses and everything else to 5xx.
+type LineError struct {
+	Line int
+	Err  error
+}
+
+func (e *LineError) Error() string { return fmt.Sprintf("notary: line %d: %v", e.Line, e.Err) }
+
+func (e *LineError) Unwrap() error { return e.Err }
+
 // consumeLine applies the shared per-line semantics of both log readers:
 // blank and comment (#...) lines are skipped, anything else is parsed into
 // rec with the error tagged by its 1-based line number. It reports whether
@@ -62,35 +75,52 @@ func consumeLine(rec *Record, line string, lineNo int) (bool, error) {
 		return false, nil
 	}
 	if err := ParseTSVInto(rec, line); err != nil {
-		return false, fmt.Errorf("notary: line %d: %w", lineNo, err)
+		return false, &LineError{Line: lineNo, Err: err}
 	}
 	return true, nil
 }
 
 // ReadLog parses a log written by LogWriter, delivering each record to
-// sink. Comment lines (#...) are skipped. Parsing stops at the first error.
-// Records are parsed into a reused buffer, so the Sink contract applies:
-// the record is only valid for the duration of Observe. The sink is not
-// closed.
+// sink. Comment lines (#...) are skipped. Parsing stops at the first error;
+// malformed lines surface as *LineError. Records are parsed into a reused
+// buffer, so the Sink contract applies: the record is only valid for the
+// duration of Observe. The sink is not closed.
 func ReadLog(r io.Reader, sink Sink) error {
+	_, err := ReadLogTail(r, 0, sink)
+	return err
+}
+
+// ReadLogTail is ReadLog that discards the first skip records before
+// delivering the rest — the log-replay half of snapshot recovery: a
+// snapshot covering the first N records plus the tail past N reconstructs
+// exactly the full stream. Skipped records are still parsed, so a corrupt
+// line inside the covered prefix surfaces the same *LineError a full replay
+// would. It returns the number of records delivered to sink.
+func ReadLogTail(r io.Reader, skip uint64, sink Sink) (uint64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var rec Record
 	lineNo := 0
+	var delivered uint64
 	for sc.Scan() {
 		lineNo++
 		ok, err := consumeLine(&rec, sc.Text(), lineNo)
 		if err != nil {
-			return err
+			return delivered, err
 		}
 		if !ok {
 			continue
 		}
-		if err := sink.Observe(&rec); err != nil {
-			return err
+		if skip > 0 {
+			skip--
+			continue
 		}
+		if err := sink.Observe(&rec); err != nil {
+			return delivered, err
+		}
+		delivered++
 	}
-	return sc.Err()
+	return delivered, sc.Err()
 }
 
 // defaultChunkSize is the byte granularity of sharded log ingestion: big

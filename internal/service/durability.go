@@ -1,0 +1,404 @@
+// Durability: crash-safe snapshots of the live aggregate plus restart
+// recovery. The snapshot codec (internal/notary) gives the aggregate a
+// versioned, checksummed on-disk form; this file adds the operational half —
+// atomic writes (tmp + fsync + rename), periodic snapshotting, retention,
+// and startup recovery that loads the newest intact snapshot and replays
+// only the TSV log tail past its record count. A notary that loses its
+// aggregate on restart breaks the paper's multi-year collection; with this
+// in place a crash costs at most the records since the last snapshot that
+// also missed the durable log.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+)
+
+// snapshot file naming: snap-<generation, zero-padded>.tlsnap, so lexical
+// and numeric order agree and the newest snapshot is the last name.
+const (
+	snapshotPrefix = "snap-"
+	snapshotSuffix = ".tlsnap"
+	snapshotTmpPat = "snap-*.tmp"
+)
+
+// DefaultSnapshotKeep is the retention depth when DurabilityOptions.Keep is
+// unset: the newest snapshot plus two fallbacks for torn/corrupt recovery.
+const DefaultSnapshotKeep = 3
+
+// DurabilityOptions configures the snapshot manager attached with
+// WithDurability.
+type DurabilityOptions struct {
+	// Dir is the snapshot directory (created if missing). Empty disables
+	// durability.
+	Dir string
+	// EveryRecords snapshots after this many new records reach the
+	// aggregate, checked at ingest flush boundaries. 0 disables the
+	// record-count trigger.
+	EveryRecords uint64
+	// Interval snapshots on a timer whenever the generation has moved.
+	// 0 disables the timer.
+	Interval time.Duration
+	// Keep is how many snapshots to retain (older ones are pruned after
+	// each successful write). <= 0 means DefaultSnapshotKeep.
+	Keep int
+	// Logf receives recovery and snapshot-failure warnings; nil means
+	// log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o *DurabilityOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (o *DurabilityOptions) keep() int {
+	if o.Keep <= 0 {
+		return DefaultSnapshotKeep
+	}
+	return o.Keep
+}
+
+// snapshotName returns the file name for a snapshot at gen.
+func snapshotName(gen uint64) string {
+	return fmt.Sprintf("%s%020d%s", snapshotPrefix, gen, snapshotSuffix)
+}
+
+// parseSnapshotName extracts the generation from a snapshot file name.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(snapshotPrefix):len(name)-len(snapshotSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listSnapshots returns the snapshot files in dir, newest (highest
+// generation) first. A missing directory yields an empty list.
+func listSnapshots(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	type snap struct {
+		gen  uint64
+		name string
+	}
+	var snaps []snap
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if gen, ok := parseSnapshotName(e.Name()); ok {
+			snaps = append(snaps, snap{gen, e.Name()})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].gen > snaps[j].gen })
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = filepath.Join(dir, s.name)
+	}
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// WriteStudySnapshot atomically writes one snapshot of the study into dir:
+// encode to a temp file, fsync, rename into place, fsync the directory, then
+// prune snapshots beyond keep (<= 0 means DefaultSnapshotKeep). A reader can
+// never observe a torn file under the final name. It returns the snapshot
+// path and the generation it captured.
+func WriteStudySnapshot(dir string, study *core.Study, keep int) (string, uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	tmp, err := os.CreateTemp(dir, snapshotTmpPat)
+	if err != nil {
+		return "", 0, err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (string, uint64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", 0, err
+	}
+	gen, err := study.WriteSnapshot(tmp)
+	if err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", 0, err
+	}
+	final := filepath.Join(dir, snapshotName(gen))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", 0, err
+	}
+	syncDir(dir)
+	if keep <= 0 {
+		keep = DefaultSnapshotKeep
+	}
+	if snaps, err := listSnapshots(dir); err == nil {
+		for _, old := range snaps[min(keep, len(snaps)):] {
+			_ = os.Remove(old)
+		}
+	}
+	return final, gen, nil
+}
+
+// RecoveryInfo reports what RecoverStudy reconstructed.
+type RecoveryInfo struct {
+	// SnapshotPath is the snapshot that loaded cleanly ("" when recovery
+	// fell back to a full log replay or an empty study).
+	SnapshotPath string
+	// SnapshotRecords is the record count the snapshot covered.
+	SnapshotRecords uint64
+	// ReplayedRecords counts log-tail records applied on top.
+	ReplayedRecords uint64
+	// CorruptSnapshots counts snapshot files skipped for failing their
+	// checksum or decode (torn writes, flipped bits).
+	CorruptSnapshots int
+	// LogTruncated reports that the log ended in a torn line (the usual
+	// signature of a crash mid-write); the valid prefix was kept.
+	LogTruncated bool
+}
+
+// Records is the total record count recovered.
+func (ri RecoveryInfo) Records() uint64 { return ri.SnapshotRecords + ri.ReplayedRecords }
+
+// RecoverStudy rebuilds a live study after a restart: it loads the newest
+// snapshot in dir that passes its checksum — torn or corrupted files are
+// skipped with a logged warning, never a crash — then replays only the TSV
+// log tail past the snapshot's record count. Either source may be absent: no
+// usable snapshot degrades to a full log replay, no log to the bare
+// snapshot, neither to an empty study. A torn final log line (crash
+// mid-write) is dropped with a warning and the valid prefix kept; leftover
+// .tmp files from interrupted snapshot writes are removed.
+func RecoverStudy(dir, logPath string, logf func(format string, args ...any)) (*core.Study, RecoveryInfo, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	var info RecoveryInfo
+	var agg *notary.Aggregate
+	if dir != "" {
+		snaps, err := listSnapshots(dir)
+		if err != nil {
+			return nil, info, fmt.Errorf("service: listing snapshots in %s: %w", dir, err)
+		}
+		for _, path := range snaps {
+			a, err := readSnapshotFile(path)
+			if err != nil {
+				info.CorruptSnapshots++
+				logf("service: skipping unusable snapshot %s: %v", path, err)
+				continue
+			}
+			agg = a
+			info.SnapshotPath = path
+			info.SnapshotRecords = a.Generation()
+			break
+		}
+		// Interrupted snapshot writes leave temp files behind; they were
+		// never visible to recovery, so clear them out.
+		if tmps, err := filepath.Glob(filepath.Join(dir, snapshotTmpPat)); err == nil {
+			for _, t := range tmps {
+				_ = os.Remove(t)
+			}
+		}
+	}
+	var study *core.Study
+	if agg != nil {
+		study = core.NewStudyFromAggregate(agg)
+	} else {
+		study = core.NewLiveStudy()
+	}
+	if logPath != "" {
+		f, err := os.Open(logPath)
+		if errors.Is(err, fs.ErrNotExist) {
+			return study, info, nil
+		}
+		if err != nil {
+			return nil, info, err
+		}
+		defer f.Close()
+		n, err := notary.ReadLogTail(f, info.SnapshotRecords, study.IngestSink())
+		info.ReplayedRecords = n
+		if err != nil {
+			var le *notary.LineError
+			if !errors.As(err, &le) {
+				return nil, info, fmt.Errorf("service: replaying %s: %w", logPath, err)
+			}
+			info.LogTruncated = true
+			logf("service: log %s: dropping torn tail from line %d (%v); %d replayed records kept",
+				logPath, le.Line, le.Err, n)
+		}
+	}
+	return study, info, nil
+}
+
+// readSnapshotFile decodes one snapshot file.
+func readSnapshotFile(path string) (*notary.Aggregate, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return notary.ReadSnapshot(f)
+}
+
+// snapshotManager drives periodic snapshots of a served study: a
+// record-count trigger checked synchronously at ingest flush boundaries, an
+// optional wall-clock ticker, and a final snapshot on Close (the SIGTERM
+// path). Writes are serialized; the flush-boundary check uses TryLock so
+// ingest streams never queue behind an in-progress snapshot.
+type snapshotManager struct {
+	study *core.Study
+	opts  DurabilityOptions
+
+	mu      sync.Mutex    // serializes snapshot writes
+	lastGen atomic.Uint64 // generation of the newest on-disk snapshot
+	lastAt  atomic.Int64  // unix nanos of the last successful write (0 = none this process)
+	written atomic.Uint64 // successful writes this process
+	errs    atomic.Uint64 // failed writes this process
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newSnapshotManager(study *core.Study, opts DurabilityOptions) *snapshotManager {
+	m := &snapshotManager{
+		study: study,
+		opts:  opts,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// Seed the record-count trigger from what is already durable, so a
+	// recovered-and-recompacted study does not immediately re-snapshot.
+	if snaps, err := listSnapshots(opts.Dir); err == nil && len(snaps) > 0 {
+		if gen, ok := parseSnapshotName(filepath.Base(snaps[0])); ok {
+			m.lastGen.Store(gen)
+		}
+	}
+	go m.run()
+	return m
+}
+
+// run is the timer loop; the record-count trigger arrives via noteProgress
+// on the ingest goroutines instead.
+func (m *snapshotManager) run() {
+	defer close(m.done)
+	if m.opts.Interval <= 0 {
+		<-m.stop
+		return
+	}
+	t := time.NewTicker(m.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.mu.Lock()
+			m.snapshotLocked()
+			m.mu.Unlock()
+		}
+	}
+}
+
+// noteProgress is the flush-boundary hook: snapshot if EveryRecords new
+// records have accrued since the last snapshot. Contention is shed rather
+// than queued — if another snapshot is in flight this flush simply skips,
+// and a later flush re-checks.
+func (m *snapshotManager) noteProgress() {
+	every := m.opts.EveryRecords
+	if every == 0 {
+		return
+	}
+	_, _, gen, err := m.study.Counts()
+	if err != nil || gen-m.lastGen.Load() < every {
+		return
+	}
+	if !m.mu.TryLock() {
+		return
+	}
+	defer m.mu.Unlock()
+	if gen-m.lastGen.Load() < every { // re-check under the lock
+		return
+	}
+	m.snapshotLocked()
+}
+
+// snapshotLocked writes one snapshot if the generation moved since the last
+// one. Callers hold m.mu.
+func (m *snapshotManager) snapshotLocked() {
+	_, _, gen, err := m.study.Counts()
+	if err != nil || gen == m.lastGen.Load() {
+		return
+	}
+	if _, gen, err = WriteStudySnapshot(m.opts.Dir, m.study, m.opts.keep()); err != nil {
+		m.errs.Add(1)
+		m.opts.logf("service: snapshot failed: %v", err)
+		return
+	}
+	m.lastGen.Store(gen)
+	m.lastAt.Store(time.Now().UnixNano())
+	m.written.Add(1)
+}
+
+// close stops the timer loop and writes a final snapshot — the SIGTERM
+// half of durability: a drained server's last records are on disk before
+// the process exits.
+func (m *snapshotManager) close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	m.mu.Lock()
+	m.snapshotLocked()
+	m.mu.Unlock()
+}
+
+// status reports the healthz gauges: the generation of the newest durable
+// snapshot, its age (negative when no snapshot has been written by this
+// process yet), and the write/error counters.
+func (m *snapshotManager) status() (gen uint64, age time.Duration, written, errs uint64) {
+	age = -1
+	if at := m.lastAt.Load(); at > 0 {
+		age = time.Since(time.Unix(0, at))
+	}
+	return m.lastGen.Load(), age, m.written.Load(), m.errs.Load()
+}

@@ -1,0 +1,229 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FeedOptions tunes the retry behavior of FeedHTTP and FeedTCP. The zero
+// value never retries — a shed stream (HTTP 429 or a TCP "busy" line) is
+// reported as an error, matching the old one-shot feeder.
+type FeedOptions struct {
+	// MaxRetries is how many times a shed stream is retried before giving
+	// up. 0 means no retries.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (default 250ms). Each shed
+	// doubles it, capped at MaxDelay (default 10s); the server's
+	// Retry-After (or the busy line's seconds) raises the floor.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is the delay function — a test hook; nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Rand supplies jitter in [0,1); nil uses math/rand. Jitter spreads
+	// synchronized feeders apart so they don't re-saturate the server in
+	// lockstep after a shed.
+	Rand func() float64
+	// Logf, when set, receives one line per retry ("server busy, retrying
+	// in ...").
+	Logf func(format string, args ...any)
+}
+
+// FeedResult reports a successfully ingested stream.
+type FeedResult struct {
+	Records    int    // records the server accepted from this stream
+	Generation uint64 // server aggregate generation after the merge
+	Attempts   int    // total attempts, including the successful one
+}
+
+// errShed is the internal marker for "the server shed this stream; retry
+// after the embedded delay floor".
+type errShed struct {
+	retryAfter time.Duration
+}
+
+func (e errShed) Error() string { return "server busy" }
+
+// feedRetry runs attempt until it succeeds, fails hard, or exhausts the
+// retry budget. Only errShed results are retried.
+func feedRetry(opts FeedOptions, attempt func() (FeedResult, error)) (FeedResult, error) {
+	base := opts.BaseDelay
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	maxDelay := opts.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 10 * time.Second
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	backoff := base
+	for try := 0; ; try++ {
+		res, err := attempt()
+		res.Attempts = try + 1
+		var shed errShed
+		if err == nil || !asShed(err, &shed) {
+			return res, err
+		}
+		if try >= opts.MaxRetries {
+			return res, fmt.Errorf("feed: server still busy after %d attempts", try+1)
+		}
+		delay := backoff
+		if shed.retryAfter > delay {
+			delay = shed.retryAfter
+		}
+		// Full jitter on top of the floor: [delay, 2*delay).
+		delay += time.Duration(rnd() * float64(delay))
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		if opts.Logf != nil {
+			opts.Logf("feed: server busy, retrying in %v (attempt %d/%d)",
+				delay.Round(time.Millisecond), try+2, opts.MaxRetries+1)
+		}
+		sleep(delay)
+		if backoff *= 2; backoff > maxDelay {
+			backoff = maxDelay
+		}
+	}
+}
+
+func asShed(err error, out *errShed) bool {
+	if se, ok := err.(errShed); ok {
+		*out = se
+		return true
+	}
+	return false
+}
+
+// FeedHTTP streams a TSV log into a server's POST /ingest endpoint,
+// retrying when the server sheds the stream with 429 (honoring its
+// Retry-After header as the backoff floor). open must return a fresh body
+// for every attempt — a shed stream was never read, but the connection is
+// gone, so the feeder needs to restart it from the top.
+func FeedHTTP(baseURL string, open func() (io.ReadCloser, error), opts FeedOptions) (FeedResult, error) {
+	url := strings.TrimSuffix(baseURL, "/") + "/ingest"
+	return feedRetry(opts, func() (FeedResult, error) {
+		var res FeedResult
+		body, err := open()
+		if err != nil {
+			return res, err
+		}
+		resp, err := http.Post(url, "text/tab-separated-values", body)
+		body.Close()
+		if err != nil {
+			return res, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if err != nil {
+			return res, fmt.Errorf("feed: reading server reply: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return res, errShed{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		}
+		var reply struct {
+			Records    int    `json:"records"`
+			Generation uint64 `json:"generation"`
+			Error      string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &reply); err != nil {
+			// Not a tlstrend serve reply (wrong port, proxy error page, ...):
+			// report the status line and what came back rather than a JSON error.
+			return res, fmt.Errorf("feed: server replied %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+		}
+		if resp.StatusCode != http.StatusOK {
+			return res, fmt.Errorf("feed: server rejected stream after %d records: %s", reply.Records, reply.Error)
+		}
+		res.Records = reply.Records
+		res.Generation = reply.Generation
+		return res, nil
+	})
+}
+
+// FeedTCP streams a TSV log over a raw TCP connection, retrying when the
+// server replies with a "busy <seconds>" shed line. open must return a
+// fresh body for every attempt.
+func FeedTCP(addr string, open func() (io.ReadCloser, error), opts FeedOptions) (FeedResult, error) {
+	return feedRetry(opts, func() (FeedResult, error) {
+		var res FeedResult
+		body, err := open()
+		if err != nil {
+			return res, err
+		}
+		defer body.Close()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return res, err
+		}
+		defer conn.Close()
+		// A server that hits a malformed line (or sheds the stream) stops
+		// reading mid-copy, which can fail this copy — still try to collect
+		// the status line, which names the cause, before falling back to the
+		// transport error.
+		_, copyErr := io.Copy(conn, body)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		reply, _ := io.ReadAll(io.LimitReader(conn, 1<<16))
+		line := strings.TrimSpace(string(reply))
+		switch {
+		case strings.HasPrefix(line, "busy"):
+			return res, errShed{retryAfter: parseBusyLine(line)}
+		case strings.HasPrefix(line, "ok "):
+			res.Records, res.Generation = parseOKLine(line)
+			return res, nil
+		case line == "" && copyErr != nil:
+			return res, fmt.Errorf("feed: streaming to %s: %w", addr, copyErr)
+		default:
+			return res, fmt.Errorf("feed: %s", line)
+		}
+	})
+}
+
+// parseRetryAfter reads an HTTP Retry-After value in its delta-seconds
+// form; anything else (absolute dates, garbage, absent) yields 0 and the
+// client falls back to pure exponential backoff.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// parseBusyLine reads the seconds hint off a TCP "busy <seconds>" line.
+func parseBusyLine(line string) time.Duration {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0
+	}
+	return parseRetryAfter(fields[1])
+}
+
+// parseOKLine reads "ok <records> <generation>"; malformed counts
+// degrade to zeros rather than failing a stream the server accepted.
+func parseOKLine(line string) (int, uint64) {
+	fields := strings.Fields(line)
+	var records int
+	var gen uint64
+	if len(fields) >= 2 {
+		records, _ = strconv.Atoi(fields[1])
+	}
+	if len(fields) >= 3 {
+		gen, _ = strconv.ParseUint(fields[2], 10, 64)
+	}
+	return records, gen
+}

@@ -1,0 +1,362 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+)
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// holdIngestSlot parks one ingest stream in flight on an httptest server and
+// returns a release function that lets it finish.
+func holdIngestSlot(t *testing.T, srv *Server, url string) (release func()) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(url+"/ingest", "text/tab-separated-values", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, "the held stream to enter ingest", func() bool { return srv.inFlight.Load() == 1 })
+	return func() {
+		pw.Close()
+		<-done
+		waitFor(t, "the held stream to drain", func() bool { return srv.inFlight.Load() == 0 })
+	}
+}
+
+// TestIngestBackpressureHTTP saturates a one-slot server and pins the shed
+// contract: 429 with a Retry-After header, healthz gauges that report the
+// saturation, and a retrying feeder that eventually lands the stream.
+func TestIngestBackpressureHTTP(t *testing.T) {
+	log, offline := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(61), WithMaxInFlight(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	release := holdIngestSlot(t, srv, ts.URL)
+
+	// A second stream is shed, not queued.
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != fmt.Sprint(DefaultRetryAfter) {
+		t.Fatalf("Retry-After = %q, want %d", got, DefaultRetryAfter)
+	}
+
+	// healthz exposes the gauges while still saturated.
+	var health struct {
+		InFlight    int    `json:"in_flight"`
+		MaxInFlight int    `json:"max_in_flight"`
+		Shed        uint64 `json:"shed"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.InFlight != 1 || health.MaxInFlight != 1 || health.Shed == 0 {
+		t.Fatalf("healthz gauges = %+v, want in_flight 1, max_in_flight 1, shed > 0", health)
+	}
+
+	// A retrying feeder sheds once, backs off, and succeeds once the slot
+	// frees: the first sleep releases the held stream.
+	var delays []time.Duration
+	res, err := FeedHTTP(ts.URL, func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(log)), nil
+	}, FeedOptions{
+		MaxRetries: 5,
+		Rand:       func() float64 { return 0 },
+		Logf:       t.Logf,
+		Sleep: func(d time.Duration) {
+			delays = append(delays, d)
+			release()
+		},
+	})
+	if err != nil {
+		t.Fatalf("FeedHTTP with retry: %v", err)
+	}
+	want := offline.Aggregate().TotalRecords()
+	if res.Records != want || res.Attempts < 2 {
+		t.Fatalf("FeedHTTP = %+v, want %d records over >= 2 attempts", res, want)
+	}
+	// The server's Retry-After is the backoff floor.
+	if len(delays) == 0 || delays[0] < time.Duration(DefaultRetryAfter)*time.Second {
+		t.Fatalf("retry delays %v ignore Retry-After %ds", delays, DefaultRetryAfter)
+	}
+}
+
+// TestIngestBackpressureTCP pins the raw-TCP shed path: a saturated server
+// answers "busy <seconds>" and FeedTCP retries onto the freed slot.
+func TestIngestBackpressureTCP(t *testing.T) {
+	log, offline := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(71), WithMaxInFlight(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeTCP(ln) }()
+
+	release := holdIngestSlot(t, srv, ts.URL)
+
+	// Raw dial while saturated: the status line is "busy <retry-after>".
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := io.ReadAll(conn)
+	conn.Close()
+	if got := strings.TrimSpace(string(reply)); got != fmt.Sprintf("busy %d", DefaultRetryAfter) {
+		t.Fatalf("saturated tcp reply = %q", got)
+	}
+
+	res, err := FeedTCP(ln.Addr().String(), func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(log)), nil
+	}, FeedOptions{
+		MaxRetries: 5,
+		Rand:       func() float64 { return 0 },
+		Logf:       t.Logf,
+		Sleep:      func(time.Duration) { release() },
+	})
+	if err != nil {
+		t.Fatalf("FeedTCP with retry: %v", err)
+	}
+	want := offline.Aggregate().TotalRecords()
+	if res.Records != want || res.Attempts < 2 {
+		t.Fatalf("FeedTCP = %+v, want %d records over >= 2 attempts", res, want)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+}
+
+// TestFeedRetryGivesUp: a server that stays saturated exhausts the retry
+// budget with an error instead of spinning forever.
+func TestFeedRetryGivesUp(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+	var delays []time.Duration
+	_, err := FeedHTTP(hs.URL, func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader("")), nil
+	}, FeedOptions{
+		MaxRetries: 2,
+		Rand:       func() float64 { return 0 },
+		Sleep:      func(d time.Duration) { delays = append(delays, d) },
+	})
+	if err == nil || !strings.Contains(err.Error(), "still busy") {
+		t.Fatalf("err = %v, want still-busy failure", err)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("%d sleeps, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if d < 3*time.Second {
+			t.Fatalf("delay %d = %v below the Retry-After floor of 3s", i, d)
+		}
+	}
+}
+
+// TestIngestMaxBodyBytes pins the 413 path: a capped body cuts the stream
+// off with RequestEntityTooLarge and keeps the prefix that fit.
+func TestIngestMaxBodyBytes(t *testing.T) {
+	log, _ := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(1), WithMaxBodyBytes(4096))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	records, _, _, err := srv.Study().Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records == 0 {
+		t.Fatal("no prefix kept from the oversized stream")
+	}
+}
+
+// failingSink errors on the nth record — an internal tee failure.
+type failingSink struct{ n, seen int }
+
+func (f *failingSink) Observe(*notary.Record) error {
+	f.seen++
+	if f.seen >= f.n {
+		return errors.New("disk full")
+	}
+	return nil
+}
+
+func (f *failingSink) Close() error { return nil }
+
+// TestIngestInternalErrorIs500: a failure inside the collector (the durable
+// tee, not the client's bytes) answers 500, not 400.
+func TestIngestInternalErrorIs500(t *testing.T) {
+	log, _ := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithLogSink(&failingSink{n: 5}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestStalledTCPClientReleasesClose: with an idle timeout, a client that
+// stops sending mid-stream cannot wedge Server.Close behind the handler
+// drain — the deadline fires, the handler exits, Close returns.
+func TestStalledTCPClientReleasesClose(t *testing.T) {
+	log, _ := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(31), WithIdleTimeout(50*time.Millisecond))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeTCP(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a stream, then silence — the stall.
+	if _, err := conn.Write(log[:len(log)/2]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "the stalled stream to enter ingest", func() bool { return srv.inFlight.Load() == 1 })
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind the stalled client — idle deadline never fired")
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+}
+
+// flakyListener fails its first Accept calls with a retryable error.
+type flakyListener struct {
+	net.Listener
+	failures int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: resource temporarily unavailable" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (fl *flakyListener) Accept() (net.Conn, error) {
+	if fl.failures > 0 {
+		fl.failures--
+		return nil, tempErr{}
+	}
+	return fl.Listener.Accept()
+}
+
+// TestServeTCPRetriesTransientAccept: a burst of temporary Accept errors
+// (EMFILE et al.) must not kill the accept loop; the stream that follows
+// still ingests.
+func TestServeTCPRetriesTransientAccept(t *testing.T) {
+	log, offline := sharedLog(t)
+	srv := NewServer(core.NewLiveStudy(), WithFlushEvery(83))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeTCP(&flakyListener{Listener: ln, failures: 3}) }()
+
+	res, err := FeedTCP(ln.Addr().String(), func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(log)), nil
+	}, FeedOptions{})
+	if err != nil {
+		t.Fatalf("feed after transient accept errors: %v", err)
+	}
+	if want := offline.Aggregate().TotalRecords(); res.Records != want {
+		t.Fatalf("fed %d records, want %d", res.Records, want)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+}
+
+// TestServeTCPAbortsOnFatalAccept: non-transient listener failures still
+// surface instead of looping forever.
+func TestServeTCPAbortsOnFatalAccept(t *testing.T) {
+	srv := NewServer(core.NewLiveStudy())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fatal := &fatalListener{Listener: ln}
+	if err := srv.ServeTCP(fatal); !errors.Is(err, errFatalAccept) {
+		t.Fatalf("ServeTCP = %v, want %v", err, errFatalAccept)
+	}
+}
+
+var errFatalAccept = errors.New("listener wedged")
+
+type fatalListener struct{ net.Listener }
+
+func (fl *fatalListener) Accept() (net.Conn, error) { return nil, errFatalAccept }

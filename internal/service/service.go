@@ -33,6 +33,7 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +42,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"tlsage/internal/analysis"
 	"tlsage/internal/core"
@@ -52,6 +55,10 @@ import (
 // arriving, large enough to amortize the merge lock.
 const DefaultFlushEvery = 4096
 
+// DefaultRetryAfter is the Retry-After hint (seconds) sent with a 429 when
+// the in-flight stream limit sheds an ingest.
+const DefaultRetryAfter = 1
+
 // Server is the live-ingest front end over one study.
 type Server struct {
 	study      *core.Study
@@ -61,6 +68,26 @@ type Server struct {
 	// a LockedSink so concurrent streams interleave whole records.
 	logSink *notary.LockedSink
 	mux     *http.ServeMux
+
+	// Backpressure: sem bounds concurrently ingesting streams (nil =
+	// unbounded); saturated arrivals are shed with 429/Retry-After (HTTP)
+	// or a "busy" status line (TCP) instead of buffering without bound.
+	sem         chan struct{}
+	maxInFlight int
+	inFlight    atomic.Int64
+	shed        atomic.Uint64
+	// maxBody caps POST /ingest request bodies (0 = unlimited); overruns
+	// answer 413 so one oversized stream cannot exhaust the collector.
+	maxBody int64
+	// idleTimeout bounds how long a raw-TCP ingest connection may sit
+	// without delivering bytes; a stalled client errors out instead of
+	// wedging Close behind the handler drain (0 = no deadline).
+	idleTimeout time.Duration
+
+	// snaps, when durability is configured, snapshots the study at ingest
+	// flush boundaries / on a timer / at Close.
+	snaps   *snapshotManager
+	durOpts *DurabilityOptions
 
 	// tcpMu guards tcpLns, the raw-TCP listeners Close shuts down; connWG
 	// tracks in-flight TCP ingest handlers so Close can drain them before
@@ -90,6 +117,56 @@ func WithLogSink(sink notary.Sink) Option {
 	return func(s *Server) { s.logSink = notary.NewLockedSink(sink) }
 }
 
+// WithMaxInFlight bounds how many ingest streams (HTTP + TCP combined) may
+// be in flight at once. Saturated HTTP ingests answer 429 with a
+// Retry-After header; saturated TCP connections get a "busy" status line.
+// n <= 0 leaves ingestion unbounded.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxInFlight = n
+			s.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithMaxBodyBytes caps POST /ingest request bodies at n bytes; an
+// oversized stream is cut off with 413 and the prefix ingested so far is
+// kept. n <= 0 leaves bodies unlimited.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithIdleTimeout sets the idle read deadline on raw-TCP ingest
+// connections: each successful read rearms it, and a connection that
+// delivers nothing for d errors out. Without it one stalled client blocks
+// Server.Close forever behind the handler drain. d <= 0 disables the
+// deadline.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.idleTimeout = d
+		}
+	}
+}
+
+// WithDurability attaches a snapshot manager: the study is snapshotted into
+// opts.Dir at ingest flush boundaries (opts.EveryRecords), on a timer
+// (opts.Interval) and at Close, keeping the last opts.Keep snapshots. Pair
+// it with RecoverStudy at startup for crash recovery. An empty Dir is a
+// no-op.
+func WithDurability(opts DurabilityOptions) Option {
+	return func(s *Server) {
+		if opts.Dir != "" {
+			s.durOpts = &opts
+		}
+	}
+}
+
 // NewServer builds a server over study — usually core.NewLiveStudy(), but
 // any already-run study works too (serving a batch result while ingesting
 // more records on top).
@@ -97,6 +174,9 @@ func NewServer(study *core.Study, opts ...Option) *Server {
 	s := &Server{study: study, flushEvery: DefaultFlushEvery}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.durOpts != nil {
+		s.snaps = newSnapshotManager(study, *s.durOpts)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -119,7 +199,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Close releases the server's durable resources: raw-TCP listeners stop
 // accepting, in-flight TCP ingest streams are drained to completion, and
 // only then is the teed log sink flushed and closed — so every record that
-// reached the aggregate is also on disk.
+// reached the aggregate is also on disk. With durability configured a final
+// snapshot of the drained state is written last (the SIGTERM path). The
+// drain is bounded when WithIdleTimeout is set: a stalled client's read
+// deadline expires and its handler exits instead of wedging Close.
 func (s *Server) Close() error {
 	s.tcpMu.Lock()
 	lns := s.tcpLns
@@ -137,7 +220,33 @@ func (s *Server) Close() error {
 			first = err
 		}
 	}
+	if s.snaps != nil {
+		s.snaps.close()
+	}
 	return first
+}
+
+// acquireStream claims an in-flight ingest slot, reporting false (and
+// counting the shed) when the limit is saturated.
+func (s *Server) acquireStream() bool {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			return false
+		}
+	}
+	s.inFlight.Add(1)
+	return true
+}
+
+// releaseStream returns an ingest slot.
+func (s *Server) releaseStream() {
+	s.inFlight.Add(-1)
+	if s.sem != nil {
+		<-s.sem
+	}
 }
 
 // ingestStats summarizes one ingested stream.
@@ -152,6 +261,11 @@ type ingestStats struct {
 // a live collector keeps what it has seen.
 func (s *Server) ingest(r io.Reader) (ingestStats, error) {
 	ing := newShardIngester(s.study, s.flushEvery, s.logSink)
+	if s.snaps != nil {
+		// Flush boundaries double as durability checkpoints: the snapshot
+		// record-count trigger is re-checked every time a shard folds in.
+		ing.onFlush = s.snaps.noteProgress
+	}
 	readErr := notary.ReadLog(r, ing)
 	flushErr := ing.Close()
 	_, _, gen, err := s.study.Counts()
@@ -174,6 +288,9 @@ type shardIngester struct {
 	every int
 	since int
 	total int
+	// onFlush, when set, runs after every successful merge into the live
+	// study — the durability checkpoint hook.
+	onFlush func()
 }
 
 func newShardIngester(study *core.Study, every int, tee *notary.LockedSink) *shardIngester {
@@ -214,6 +331,9 @@ func (si *shardIngester) flush() error {
 	}
 	si.shard = notary.NewAggregate()
 	si.since = 0
+	if si.onFlush != nil {
+		si.onFlush()
+	}
 	return nil
 }
 
@@ -240,11 +360,65 @@ func (s *Server) setGeneration(w http.ResponseWriter) {
 	}
 }
 
+// ingestErrorStatus separates the error classes of a failed ingest so
+// clients know whether to fix the payload or retry: an oversized body is
+// 413, a malformed line (or one beyond the scanner's line-length ceiling)
+// is 400, and anything else — merge or durable-tee failures inside the
+// collector — is 500.
+func ingestErrorStatus(err error) int {
+	var le *notary.LineError
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &le), errors.Is(err, bufio.ErrTooLong):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// bodyCapTracker remembers that the wrapped MaxBytesReader cut the stream
+// off. The line scanner treats a read error like EOF, so the cap usually
+// surfaces as a parse failure on the torn final line — without the sticky
+// flag an oversized body would misreport as 400 instead of 413.
+type bodyCapTracker struct {
+	r   io.Reader
+	hit bool
+}
+
+func (b *bodyCapTracker) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		b.hit = true
+	}
+	return n, err
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	st, err := s.ingest(r.Body)
+	if !s.acquireStream() {
+		w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfter))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("ingest saturated: %d streams in flight", s.maxInFlight))
+		return
+	}
+	defer s.releaseStream()
+	body := io.Reader(r.Body)
+	var capped *bodyCapTracker
+	if s.maxBody > 0 {
+		capped = &bodyCapTracker{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
+		body = capped
+	}
+	st, err := s.ingest(body)
 	s.setGeneration(w)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{
+		status := ingestErrorStatus(err)
+		if capped != nil && capped.hit {
+			status = http.StatusRequestEntityTooLarge
+			err = fmt.Errorf("request body exceeds the %d-byte ingest cap: %w", s.maxBody, err)
+		}
+		writeJSON(w, status, map[string]any{
 			"error":      err.Error(),
 			"records":    st.Records,
 			"generation": st.Generation,
@@ -356,39 +530,95 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":     "ok",
 		"records":    records,
 		"months":     months,
 		"generation": gen,
-	})
+		// Backpressure gauges: streams currently ingesting and arrivals
+		// shed since start (429 / TCP busy).
+		"in_flight": s.inFlight.Load(),
+		"shed":      s.shed.Load(),
+	}
+	if s.sem != nil {
+		health["max_in_flight"] = s.maxInFlight
+	}
+	if s.snaps != nil {
+		snapGen, age, written, errs := s.snaps.status()
+		ageSeconds := -1.0 // no snapshot written by this process yet
+		if age >= 0 {
+			ageSeconds = age.Seconds()
+		}
+		health["snapshot_generation"] = snapGen
+		health["snapshot_age_seconds"] = ageSeconds
+		health["snapshots_written"] = written
+		health["snapshot_errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 // --- raw TCP ingest ---
 
+// maxAcceptBackoff caps the retry delay after transient Accept errors.
+const maxAcceptBackoff = time.Second
+
 // ServeTCP accepts raw TSV streams on ln: each connection is one log
 // stream, ingested with the same semantics as POST /ingest; the server
-// replies with a single status line ("ok <records> <generation>" or
-// "error: ...") and closes the connection. It returns after the listener
-// closes (Close does that).
+// replies with a single status line ("ok <records> <generation>",
+// "busy <retry-after-seconds>" when the in-flight limit sheds the stream,
+// or "error: ...") and closes the connection. Transient Accept errors
+// (EMFILE, timeouts) are retried with capped exponential backoff instead
+// of killing the loop. It returns after the listener closes (Close does
+// that).
 func (s *Server) ServeTCP(ln net.Listener) error {
 	s.tcpMu.Lock()
 	s.tcpLns = append(s.tcpLns, ln)
 	s.tcpMu.Unlock()
 	defer s.connWG.Wait()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			// One exhausted-FD burst or accept timeout must not end a
+			// multi-year collection: back off and try again. Only
+			// non-transient errors abort the loop.
+			if isTransientAcceptErr(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > maxAcceptBackoff {
+					backoff = maxAcceptBackoff
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return err
+		}
+		backoff = 0
+		if !s.acquireStream() {
+			// Saturated: shed with a status line the feeder understands
+			// (tlstrend feed -retry backs off and retries on "busy"). Stop
+			// reading first — the client may already be streaming, and
+			// closing with unread inbound data would RST the reply away.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.CloseRead()
+			}
+			s.writeTCPReply(conn, fmt.Sprintf("busy %d\n", DefaultRetryAfter))
+			conn.Close()
+			continue
 		}
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
+			defer s.releaseStream()
 			defer conn.Close()
-			st, err := s.ingest(conn)
+			src := io.Reader(conn)
+			if s.idleTimeout > 0 {
+				src = &idleDeadlineReader{conn: conn, idle: s.idleTimeout}
+			}
+			st, err := s.ingest(src)
 			if err != nil {
 				// The client may still be mid-stream; stop reading without
 				// resetting the connection so the error line below survives
@@ -397,10 +627,56 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 				if tc, ok := conn.(*net.TCPConn); ok {
 					_ = tc.CloseRead()
 				}
-				fmt.Fprintf(conn, "error: %v\n", err)
+				s.writeTCPReply(conn, fmt.Sprintf("error: %v\n", err))
 				return
 			}
-			fmt.Fprintf(conn, "ok %d %d\n", st.Records, st.Generation)
+			s.writeTCPReply(conn, fmt.Sprintf("ok %d %d\n", st.Records, st.Generation))
 		}()
 	}
+}
+
+// writeTCPReply writes the status line under the idle deadline (when
+// configured), so an unreachable client cannot wedge the handler in the
+// reply either.
+func (s *Server) writeTCPReply(conn net.Conn, line string) {
+	if s.idleTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout))
+	}
+	_, _ = io.WriteString(conn, line)
+}
+
+// isTransientAcceptErr reports whether an Accept error is worth retrying:
+// timeouts and the temporary class (EMFILE/ENFILE, aborted connections).
+func isTransientAcceptErr(err error) bool {
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		return false
+	}
+	if ne.Timeout() {
+		return true
+	}
+	// net.Error.Temporary is deprecated for new APIs but remains exactly
+	// the accept-loop retry signal (net/http's Server.Serve relies on the
+	// same class).
+	type temporary interface{ Temporary() bool }
+	if te, ok := err.(temporary); ok && te.Temporary() {
+		return true
+	}
+	return false
+}
+
+// idleDeadlineReader rearms a read deadline of idle before every Read, so a
+// connection only errors out after delivering nothing for a full idle
+// window — slow-but-live feeders keep streaming, stalled ones release their
+// handler (and their in-flight slot) instead of wedging shutdown.
+type idleDeadlineReader struct {
+	conn net.Conn
+	idle time.Duration
+}
+
+func (ir *idleDeadlineReader) Read(p []byte) (int, error) {
+	if err := ir.conn.SetReadDeadline(time.Now().Add(ir.idle)); err != nil {
+		return 0, err
+	}
+	return ir.conn.Read(p)
 }
