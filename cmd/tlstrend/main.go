@@ -239,20 +239,23 @@ func cmdServe(args []string) error {
 	}
 
 	// Restart recovery for the default study: newest intact snapshot plus
-	// the tail of the previous run's -out log, before os.Create truncates it.
+	// the tail of the previous run's -out log (opened further down in
+	// whatever mode keeps the recovered records durable).
 	defaultStudy := core.NewLiveStudy()
+	var recovery service.RecoveryInfo
 	if *snapDir != "" || *outPath != "" {
 		st, info, err := service.RecoverStudy(*snapDir, *outPath, nil)
 		if err != nil {
 			return fmt.Errorf("recovering previous state: %w", err)
 		}
 		defaultStudy = st
+		recovery = info
 		if info.Records() > 0 {
 			fmt.Fprintf(os.Stderr, "recovered %d records (%d from snapshot %s, %d replayed from %s)\n",
 				info.Records(), info.SnapshotRecords, info.SnapshotPath, info.ReplayedRecords, *outPath)
 		}
 		// Compact: one fresh snapshot now covers everything recovered, so
-		// truncating the log below loses nothing.
+		// the truncate-and-rebase of the log below loses nothing.
 		if *snapDir != "" && info.Records() > 0 {
 			_, gen, err := service.WriteStudySnapshot(*snapDir, st, *snapKeep)
 			if err != nil {
@@ -277,7 +280,14 @@ func cmdServe(args []string) error {
 		if i == 0 {
 			study = defaultStudy
 			if *outPath != "" {
-				f, err := os.Create(*outPath)
+				// With snapshots the log restarts behind a #base directive
+				// (the compaction above covers it); without, it appends so
+				// the replayed records stay durable.
+				_, _, gen, cerrs := defaultStudy.Counts()
+				if cerrs != nil {
+					return cerrs
+				}
+				f, err := service.OpenIngestLog(*outPath, gen, *snapDir != "", recovery.TornLine)
 				if err != nil {
 					return err
 				}

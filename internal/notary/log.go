@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -53,6 +55,35 @@ func (lw *LogWriter) Count() int64 { return lw.n }
 // Flush flushes the underlying buffer.
 func (lw *LogWriter) Flush() error { return lw.w.Flush() }
 
+// logBasePrefix starts a base directive: a comment line recording the
+// absolute generation the log resumes at. A log that is truncated after its
+// records were compacted into a snapshot no longer starts at generation
+// zero, so without the directive a later recovery would misalign the
+// snapshot's record count against the log's line count.
+const logBasePrefix = "#base "
+
+// LogBaseDirective returns the comment line declaring that the next record
+// in the log carries absolute generation gen+1. serve writes it when it
+// truncates the -out log after compacting recovered state into a snapshot;
+// ReadLogTail honors it when aligning a snapshot's record count against the
+// log. Readers that ignore comments (a plain ReadLog replay, the parallel
+// loader) see every record the file actually holds.
+func LogBaseDirective(gen uint64) string {
+	return fmt.Sprintf("%s%d\n", logBasePrefix, gen)
+}
+
+// parseLogBase recognizes a base directive line.
+func parseLogBase(line string) (uint64, bool) {
+	if !strings.HasPrefix(line, logBasePrefix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(line[len(logBasePrefix):]), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
 // LineError tags a malformed log line with its 1-based line number. It
 // separates input the *producer* must fix (a bad line in the stream) from
 // internal failures of the consuming sink — the live service maps the former
@@ -86,41 +117,62 @@ func consumeLine(rec *Record, line string, lineNo int) (bool, error) {
 // buffer, so the Sink contract applies: the record is only valid for the
 // duration of Observe. The sink is not closed.
 func ReadLog(r io.Reader, sink Sink) error {
-	_, err := ReadLogTail(r, 0, sink)
+	_, _, err := ReadLogTail(r, 0, sink)
 	return err
 }
 
-// ReadLogTail is ReadLog that discards the first skip records before
-// delivering the rest — the log-replay half of snapshot recovery: a
-// snapshot covering the first N records plus the tail past N reconstructs
-// exactly the full stream. Skipped records are still parsed, so a corrupt
-// line inside the covered prefix surfaces the same *LineError a full replay
-// would. It returns the number of records delivered to sink.
-func ReadLogTail(r io.Reader, skip uint64, sink Sink) (uint64, error) {
+// ReadLogTail is ReadLog that discards every record covered by the first
+// skip generations before delivering the rest — the log-replay half of
+// snapshot recovery: a snapshot covering generations 1..N plus the log tail
+// past N reconstructs exactly the full stream. skip counts absolute
+// generations, not log lines: a #base directive (see LogBaseDirective)
+// declares that the log was truncated at some generation, so line i carries
+// generation base+i. Skipped records are still parsed, so a corrupt line
+// inside the covered prefix surfaces the same *LineError a full replay
+// would. It returns the number of records delivered to sink and the first
+// base directive seen (0 when the log starts at generation zero) — a base
+// above the snapshot's generation means the gap is in neither source.
+func ReadLogTail(r io.Reader, skip uint64, sink Sink) (delivered, base uint64, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var rec Record
 	lineNo := 0
-	var delivered uint64
+	sawBase := false
+	var gen uint64 // absolute generation of the last record line seen
 	for sc.Scan() {
 		lineNo++
-		ok, err := consumeLine(&rec, sc.Text(), lineNo)
+		line := sc.Text()
+		if b, ok := parseLogBase(line); ok {
+			// A directive that rewinds would re-deliver records already
+			// counted; nothing writes that, so treat it as corruption and
+			// keep the valid prefix like any other torn line.
+			if b < gen {
+				return delivered, base, &LineError{Line: lineNo,
+					Err: fmt.Errorf("base directive rewinds generation %d to %d", gen, b)}
+			}
+			if !sawBase {
+				base, sawBase = b, true
+			}
+			gen = b
+			continue
+		}
+		ok, err := consumeLine(&rec, line, lineNo)
 		if err != nil {
-			return delivered, err
+			return delivered, base, err
 		}
 		if !ok {
 			continue
 		}
-		if skip > 0 {
-			skip--
+		gen++
+		if gen <= skip {
 			continue
 		}
 		if err := sink.Observe(&rec); err != nil {
-			return delivered, err
+			return delivered, base, err
 		}
 		delivered++
 	}
-	return delivered, sc.Err()
+	return delivered, base, sc.Err()
 }
 
 // defaultChunkSize is the byte granularity of sharded log ingestion: big

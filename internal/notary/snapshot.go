@@ -339,10 +339,12 @@ func (d *snapDecoder) uvarint() uint64 {
 	return v
 }
 
-// count reads a non-negative int-sized counter.
+// count reads a non-negative int-sized counter. The bound tracks the
+// platform int so the conversion can never wrap negative on 32-bit builds,
+// and stays at half the range so decoded counters survive summing.
 func (d *snapDecoder) count() int {
 	v := d.uvarint()
-	if v > math.MaxInt64/2 {
+	if v > uint64(math.MaxInt)/2 {
 		d.fail("implausible count %d", v)
 		return 0
 	}

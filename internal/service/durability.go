@@ -12,6 +12,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"log"
 	"os"
@@ -188,6 +189,15 @@ type RecoveryInfo struct {
 	SnapshotRecords uint64
 	// ReplayedRecords counts log-tail records applied on top.
 	ReplayedRecords uint64
+	// LogBase is the generation the log's first #base directive declares it
+	// was truncated at (0 when the log starts at generation zero). A base
+	// above SnapshotRecords means generations SnapshotRecords+1..LogBase are
+	// in neither source.
+	LogBase uint64
+	// TornLine is the 1-based log line replay stopped at because it was
+	// malformed (0 = the whole log parsed). Everything from this line on is
+	// not reflected in the recovered study.
+	TornLine int
 	// CorruptSnapshots counts snapshot files skipped for failing their
 	// checksum or decode (torn writes, flipped bits).
 	CorruptSnapshots int
@@ -253,19 +263,91 @@ func RecoverStudy(dir, logPath string, logf func(format string, args ...any)) (*
 			return nil, info, err
 		}
 		defer f.Close()
-		n, err := notary.ReadLogTail(f, info.SnapshotRecords, study.IngestSink())
+		n, base, err := notary.ReadLogTail(f, info.SnapshotRecords, study.IngestSink())
 		info.ReplayedRecords = n
+		info.LogBase = base
 		if err != nil {
 			var le *notary.LineError
 			if !errors.As(err, &le) {
 				return nil, info, fmt.Errorf("service: replaying %s: %w", logPath, err)
 			}
 			info.LogTruncated = true
+			info.TornLine = le.Line
 			logf("service: log %s: dropping torn tail from line %d (%v); %d replayed records kept",
 				logPath, le.Line, le.Err, n)
 		}
+		if base > info.SnapshotRecords {
+			logf("service: log %s resumes at generation %d but the best snapshot covers %d; records %d..%d are unrecoverable",
+				logPath, base, info.SnapshotRecords, info.SnapshotRecords+1, base)
+		}
 	}
 	return study, info, nil
+}
+
+// OpenIngestLog opens the serve -out log for writing, consistently with the
+// state RecoverStudy just rebuilt (gen is the recovered study's generation,
+// tornLine the RecoveryInfo.TornLine it reported).
+//
+// With durable snapshots the recovered state was compacted into a fresh
+// snapshot, so the log is truncated and restarted with a #base directive
+// recording the generation it resumes at — the next recovery aligns the
+// snapshot's record count against base instead of assuming the log starts
+// at generation zero. Without snapshots the log is the only durable copy of
+// everything recovery just replayed, so truncating it would demote durable
+// records to memory-only; instead the torn tail (if any) is trimmed off and
+// the log is opened in append mode.
+func OpenIngestLog(path string, gen uint64, durableSnapshots bool, tornLine int) (*os.File, error) {
+	if !durableSnapshots && gen > 0 {
+		if tornLine > 0 {
+			if err := trimLogAt(path, tornLine); err != nil {
+				return nil, fmt.Errorf("service: trimming torn tail of %s: %w", path, err)
+			}
+		}
+		return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if gen > 0 {
+		if _, err := f.WriteString(notary.LogBaseDirective(gen)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// trimLogAt truncates the log file to the byte offset where its 1-based
+// line begins, dropping that line and everything after it. Appending fresh
+// records after a torn line would fuse them into one malformed line and
+// poison the next replay; after the trim the file holds exactly the records
+// recovery kept.
+func trimLogAt(path string, line int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var off int64
+	buf := make([]byte, 1<<16)
+	remaining := line - 1 // complete lines to keep
+	for remaining > 0 {
+		n, err := f.Read(buf)
+		for i := 0; i < n && remaining > 0; i++ {
+			off++
+			if buf[i] == '\n' {
+				remaining--
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+	}
+	return f.Truncate(off)
 }
 
 // readSnapshotFile decodes one snapshot file.
@@ -293,8 +375,9 @@ type snapshotManager struct {
 	written atomic.Uint64 // successful writes this process
 	errs    atomic.Uint64 // failed writes this process
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 func newSnapshotManager(study *core.Study, opts DurabilityOptions) *snapshotManager {
@@ -381,11 +464,7 @@ func (m *snapshotManager) snapshotLocked() {
 // half of durability: a drained server's last records are on disk before
 // the process exits.
 func (m *snapshotManager) close() {
-	select {
-	case <-m.stop:
-	default:
-		close(m.stop)
-	}
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 	m.mu.Lock()
 	m.snapshotLocked()

@@ -122,6 +122,150 @@ func TestRestartParitySweep(t *testing.T) {
 	}
 }
 
+// recordLines returns the raw record lines (from, to] of a TSV log, the way
+// a run-2 tee would append them.
+func recordLines(t *testing.T, log []byte, from, to int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	records := 0
+	for _, line := range bytes.SplitAfter(log, []byte{'\n'}) {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 && trimmed[0] != '#' {
+			records++
+			if records > from && records <= to {
+				out.Write(line)
+			}
+		}
+	}
+	if records < to {
+		t.Fatalf("log has only %d records, wanted lines up to %d", records, to)
+	}
+	return out.Bytes()
+}
+
+// TestRestartCycleParity pins recovery across a *second* crash: after the
+// first restart the -out log is truncated and rebased behind a #base
+// directive while snapshots keep all-time generations, so the next
+// recovery's skip must count generations past the base, not log lines from
+// zero. Losing that alignment silently drops every record past the last
+// snapshot — the exact multi-restart data loss this test exists to prevent.
+func TestRestartCycleParity(t *testing.T) {
+	log, _ := sharedLog(t)
+	total := countRecords(log)
+	a, c, b := total/3, total/2, 2*total/3 // run-1 end, run-2 mid-run snapshot, run-2 end
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "conn.log")
+
+	// Run-1 crash state: the log holds records 1..a, the newest snapshot a/2.
+	if err := os.WriteFile(logPath, logPrefix(t, log, a), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := WriteStudySnapshot(dir, studyFromLog(t, logPrefix(t, log, a/2)), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart 1: recover, compact, truncate + rebase the log — cmdServe's flow.
+	st, info, err := RecoverStudy(dir, logPath, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records() != uint64(a) {
+		t.Fatalf("restart 1 recovered %d records, want %d", info.Records(), a)
+	}
+	if _, gen, err := WriteStudySnapshot(dir, st, 0); err != nil || gen != uint64(a) {
+		t.Fatalf("compaction: gen %d err %v, want %d", gen, err, a)
+	}
+	f, err := OpenIngestLog(logPath, uint64(a), true, info.TornLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: the tee appends records a+1..b to the rebased log, and one
+	// mid-run snapshot lands at generation c before the process dies.
+	if _, err := f.Write(recordLines(t, log, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err := WriteStudySnapshot(dir, studyFromLog(t, logPrefix(t, log, c)), 0); err != nil || gen != uint64(c) {
+		t.Fatalf("mid-run snapshot: gen %d err %v, want %d", gen, err, c)
+	}
+
+	// Restart 2: the snapshot covers 1..c, the log holds a+1..b behind
+	// "#base a" — recovery must replay exactly b-c records on top.
+	rec, info2, err := RecoverStudy(dir, logPath, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.SnapshotRecords != uint64(c) || info2.ReplayedRecords != uint64(b-c) || info2.LogBase != uint64(a) {
+		t.Fatalf("restart 2: %d snapshot + %d replayed records (log base %d), want %d + %d (base %d)",
+			info2.SnapshotRecords, info2.ReplayedRecords, info2.LogBase, c, b-c, a)
+	}
+	if got := scalarsBytes(t, rec); !bytes.Equal(got, scalarsBytes(t, studyFromLog(t, logPrefix(t, log, b)))) {
+		t.Fatal("second-restart recovery diverges from uninterrupted ingest of every durable record")
+	}
+}
+
+// TestOpenIngestLogAppendsWithoutSnapshots pins the no-snapshot-dir flow:
+// when the log is the only durable copy of what recovery just replayed, it
+// must be appended to (torn tail trimmed first), never truncated — a crash
+// right after restart may lose nothing that was already on disk.
+func TestOpenIngestLogAppendsWithoutSnapshots(t *testing.T) {
+	log, _ := sharedLog(t)
+	total := countRecords(log)
+	a, b := total/2, total
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "conn.log")
+
+	// Run-1 crash left records 1..a plus a torn final line.
+	prefix := logPrefix(t, log, a)
+	torn := recordLines(t, log, a, a+1)
+	state := append(append([]byte(nil), prefix...), torn[:len(torn)/2]...)
+	if err := os.WriteFile(logPath, state, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, info, err := RecoverStudy("", logPath, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records() != uint64(a) || !info.LogTruncated || info.TornLine == 0 {
+		t.Fatalf("torn-log recovery: info=%+v, want %d records and a torn line", info, a)
+	}
+	_, _, gen, err := st.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenIngestLog(logPath, gen, false, info.TornLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trim leaves exactly the records recovery kept, so appending can't
+	// fuse fresh records onto the torn line.
+	if st, err := f.Stat(); err != nil || st.Size() != int64(len(prefix)) {
+		t.Fatalf("trimmed log is %d bytes (err %v), want %d", st.Size(), err, len(prefix))
+	}
+
+	// Run 2 appends the rest, then crashes with nothing but the log.
+	if _, err := f.Write(recordLines(t, log, a, b)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, info2, err := RecoverStudy("", logPath, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.ReplayedRecords != uint64(b) || info2.LogTruncated {
+		t.Fatalf("full-log recovery: info=%+v, want %d clean records", info2, b)
+	}
+	if got := scalarsBytes(t, rec); !bytes.Equal(got, scalarsBytes(t, studyFromLog(t, log))) {
+		t.Fatal("append-mode recovery diverges from uninterrupted ingest")
+	}
+}
+
 // corruptState builds one crashed-notary scene: an older intact snapshot at
 // records k, a newest snapshot at the full count, and the complete log.
 func corruptState(t *testing.T, log []byte, k int) (dir, logPath, newest string) {
