@@ -199,6 +199,102 @@ func BenchmarkQueryEvalNative(b *testing.B) {
 	b.ReportMetric(float64(len(fig.Series)), "series")
 }
 
+// benchPlans compiles the Figure 1 expression set (the same five series
+// BenchmarkQueryEval interprets) against the shared frame.
+func benchPlans(b *testing.B) []*analysis.Plan {
+	b.Helper()
+	f := studyFrame(b)
+	plans := make([]*analysis.Plan, 0, 5)
+	for _, v := range []string{"ssl3", "tls10", "tls11", "tls12", "tls13"} {
+		p, err := analysis.CompileQuery("pct(version:"+v+" / established)", f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// BenchmarkQueryCompiled measures the plan path on the exact expression set
+// of BenchmarkQueryEval: compile once, then evaluate per request — the
+// served hot path on a cache miss.
+func BenchmarkQueryCompiled(b *testing.B) {
+	plans := benchPlans(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var vals []float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			vals = p.EvalSeries()
+		}
+	}
+	b.ReportMetric(vals[len(vals)-1], "tls13_apr18_pct")
+}
+
+// BenchmarkQueryCompiledResult measures compiled evaluation of the full
+// served QueryResult (Plan.Eval — the fused kernel plus materializing the
+// month-labelled point list) for the same expression set. This is the exact
+// work a cache hit skips: BenchmarkQueryCacheHit returns the same results
+// from the generation-keyed cache without touching the frame.
+func BenchmarkQueryCompiledResult(b *testing.B) {
+	plans := benchPlans(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res analysis.QueryResult
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			res = p.Eval()
+		}
+	}
+	b.ReportMetric(float64(len(res.Series.Points)), "points")
+}
+
+// BenchmarkQueryCacheHit measures a generation-keyed cache hit on the same
+// five queries — the served hot path for a dashboard hammering an unchanged
+// study. A hit yields the same QueryResults as BenchmarkQueryCompiledResult
+// for the cost of a map lookup: the clone shares the immutable Points
+// backing array, so no per-point work (or allocation) happens at all.
+func BenchmarkQueryCacheHit(b *testing.B) {
+	plans := benchPlans(b)
+	f := studyFrame(b)
+	cache := analysis.NewQueryCache(64, 1<<20)
+	keys := make([]string, len(plans))
+	for i, p := range plans {
+		keys[i] = p.Query()
+		cache.Put("bench", 0, f.Generation(), keys[i], p.Eval())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res analysis.QueryResult
+	for i := 0; i < b.N; i++ {
+		for _, key := range keys {
+			var ok bool
+			res, ok = cache.Get("bench", 0, f.Generation(), key)
+			if !ok {
+				b.Fatal("unexpected miss")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(res.Series.Points)), "points")
+}
+
+// BenchmarkAllFiguresCompiled measures the whole catalog through the
+// pre-compiled shared plans (the first Figures call pays the one-time
+// compile; the loop measures the steady state every /figures request sees).
+func BenchmarkAllFiguresCompiled(b *testing.B) {
+	f := studyFrame(b)
+	f.Figures() // warm the shared plan memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	var figs []analysis.Figure
+	for i := 0; i < b.N; i++ {
+		figs = f.Figures()
+	}
+	if len(figs) != 10 {
+		b.Fatal("figure count")
+	}
+}
+
 func BenchmarkFigure1NegotiatedVersions(b *testing.B) {
 	studyFrame(b)
 	b.ResetTimer()

@@ -6,7 +6,7 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N]  live notary service: TSV ingest + JSON query endpoints, durable snapshots, restart recovery
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-query-cache N]  live notary service: TSV ingest + JSON query endpoints, durable snapshots, restart recovery, cached queries
 //	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-retry N]  stream a log or a live simulation into a server
 //	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
@@ -234,8 +234,18 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "concurrent ingest streams before shedding with 429/busy (0 = unbounded)")
 	maxBody := fs.Int64("max-body", 0, "max POST /ingest body bytes, answered with 413 beyond (0 = unlimited)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle read deadline on raw-TCP ingest connections (0 = none)")
+	cacheEntries := fs.Int("query-cache", 1024, "query result cache entries, shared across studies (0 = disable caching)")
+	cacheBytes := fs.Int64("query-cache-bytes", 8<<20, "approximate byte budget for the query result cache")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One generation-keyed result cache fronts every hosted study: keys are
+	// namespaced by study id, so dashboards hammering /studies/{id}/query
+	// share the budget without cross-study collisions.
+	var queryCache *analysis.QueryCache
+	if *cacheEntries > 0 {
+		queryCache = analysis.NewQueryCache(*cacheEntries, *cacheBytes)
 	}
 
 	// Restart recovery for the default study: newest intact snapshot plus
@@ -275,6 +285,9 @@ func cmdServe(args []string) error {
 			service.WithMaxInFlight(*maxInflight),
 			service.WithMaxBodyBytes(*maxBody),
 			service.WithIdleTimeout(*idleTimeout),
+		}
+		if queryCache != nil {
+			opts = append(opts, service.WithQueryCache(queryCache, id))
 		}
 		study := core.NewLiveStudy()
 		if i == 0 {

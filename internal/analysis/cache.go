@@ -1,0 +1,169 @@
+package analysis
+
+// The generation-keyed query result cache: the third stage of the query
+// engine. A frame is immutable and tagged with the generation it was built
+// from, so a QueryResult computed against (study, generation) never goes
+// stale — it can only become unreachable when the generation advances. That
+// makes the cache trivially correct: keys embed the generation (and an
+// epoch that study owners bump whenever they replace the aggregate outright,
+// guarding against a rebuilt study landing on the same record count), and
+// invalidation is just new keys shadowing old ones until the LRU evicts the
+// orphans.
+//
+// One cache is shared across every study a process serves; entries are
+// bounded both by count and by an approximate byte budget so a burst of
+// distinct queries cannot grow memory without limit.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// QueryCacheStats is a point-in-time snapshot of cache counters, exported
+// on /healthz by the service layer.
+type QueryCacheStats struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	MaxEntries int    `json:"max_entries"`
+	MaxBytes   int64  `json:"max_bytes"`
+}
+
+// cacheKey identifies one cached result. The query component is canonical
+// text (the parse→format fixpoint), so syntactic variants of the same
+// expression share an entry.
+type cacheKey struct {
+	study      string
+	epoch      uint64
+	generation uint64
+	query      string
+}
+
+// cacheEntry is an LRU element payload.
+type cacheEntry struct {
+	key  cacheKey
+	res  QueryResult
+	size int64
+}
+
+// QueryCache is a bounded LRU of QueryResults keyed by
+// (study, epoch, generation, canonical query text). All methods are safe
+// for concurrent use and safe on a nil receiver (a nil cache never hits,
+// making "caching disabled" the zero-configuration path).
+type QueryCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recent
+	entries    map[cacheKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// NewQueryCache builds a cache bounded to maxEntries results and an
+// approximate maxBytes of cached points. Bounds ≤ 0 mean unbounded on that
+// axis (but at least one bound should be set; the callers always set both).
+func NewQueryCache(maxEntries int, maxBytes int64) *QueryCache {
+	return &QueryCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		entries:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// resultSize approximates an entry's memory footprint: struct overhead plus
+// the strings and the 24-byte Points.
+func resultSize(key cacheKey, res QueryResult) int64 {
+	const overhead = 160 // key + entry + element bookkeeping, roughly
+	return overhead +
+		int64(len(key.study)+len(key.query)) +
+		int64(len(res.Query)+len(res.Kind)+len(res.Series.Name)) +
+		int64(24*len(res.Series.Points))
+}
+
+// Get returns the cached result for the key, marking it most recently used.
+// The returned QueryResult is a shallow clone: it shares the immutable
+// Points backing array with the cache, so callers must treat Series.Points
+// as read-only (every existing consumer — JSON encoding, rendering,
+// Series.Value — already does).
+func (c *QueryCache) Get(study string, epoch, generation uint64, query string) (QueryResult, bool) {
+	if c == nil {
+		return QueryResult{}, false
+	}
+	key := cacheKey{study, epoch, generation, query}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return QueryResult{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under the key, evicting least-recently-used entries
+// while either bound is exceeded. Storing an oversized single result is a
+// no-op rather than a cache flush.
+func (c *QueryCache) Put(study string, epoch, generation uint64, query string, res QueryResult) {
+	if c == nil {
+		return
+	}
+	key := cacheKey{study, epoch, generation, query}
+	size := resultSize(key, res)
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.res, ent.size = res, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > 0 &&
+		((c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least-recently-used entry. Callers hold c.mu.
+func (c *QueryCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.size
+	c.evictions++
+}
+
+// Stats snapshots the cache counters.
+func (c *QueryCache) Stats() QueryCacheStats {
+	if c == nil {
+		return QueryCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return QueryCacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxEntries: c.maxEntries,
+		MaxBytes:   c.maxBytes,
+	}
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sync"
+
 	"tlsage/internal/notary"
 	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
@@ -32,6 +34,18 @@ type Frame struct {
 	index map[timeline.Month]int
 	// generation is the aggregate generation this frame snapshotted.
 	generation uint64
+	// fingerprint hashes the frame's layout (generation, month axis, keyed
+	// column sets), computed once at build time — the cheap revalidation
+	// token for compiled plans (Plan.ValidFor).
+	fingerprint uint64
+
+	// planOnce/plans memoize compiled plans for the package's static
+	// expressions (figure catalog, impact metrics, passive scalars), built
+	// lazily on first catalog evaluation and keyed by expression identity.
+	// Memoization is the only post-build write; it is guarded by the Once,
+	// so the frame stays safe to share across goroutines.
+	planOnce sync.Once
+	plans    map[*Expr]*Plan
 
 	// Denominators.
 	Total       []int // all observed hellos
@@ -254,8 +268,85 @@ func NewFrame(agg *notary.Aggregate) *Frame {
 			}
 		}
 	})
+	f.fingerprint = f.computeFingerprint()
 	return f
 }
+
+// computeFingerprint hashes the layout a compiled plan binds to: the
+// generation, the month axis, and how many columns each keyed family holds.
+// Equal generations within one study imply equal content (generations count
+// ingested records), so an equal fingerprint means a plan's bound columns
+// hold the same values. FNV-1a, O(months + families).
+func (f *Frame) computeFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(f.generation)
+	mix(uint64(len(f.Months)))
+	for _, m := range f.Months {
+		mix(uint64(m.Index()))
+	}
+	mix(uint64(len(f.Version)))
+	mix(uint64(len(f.Class)))
+	mix(uint64(len(f.Kex)))
+	mix(uint64(len(f.Curve)))
+	mix(uint64(len(f.Extension)))
+	mix(uint64(len(f.TLS13Variant)))
+	mix(uint64(len(f.PosSum)))
+	mix(uint64(len(f.PosCount)))
+	return h
+}
+
+// Fingerprint returns the frame's layout fingerprint (see Plan.ValidFor).
+func (f *Frame) Fingerprint() uint64 { return f.fingerprint }
+
+// sharedPlans returns the memoized compiled plans for the package's static
+// expressions — every catalog metric, impact metric and passive scalar —
+// compiling them on first use. Static expressions cannot fail compilation
+// (they are validated at package init), so a failure here is a programming
+// error.
+func (f *Frame) sharedPlans() map[*Expr]*Plan {
+	f.planOnce.Do(func() {
+		plans := make(map[*Expr]*Plan, 64)
+		add := func(e *Expr) {
+			p, err := Compile(e, f)
+			if err != nil {
+				panic("analysis: static expression failed to compile: " + err.Error())
+			}
+			plans[e] = p
+		}
+		for _, spec := range catalog {
+			for _, m := range spec.Metrics {
+				add(m.Expr)
+			}
+		}
+		for _, im := range impactMetrics {
+			add(im.expr)
+		}
+		for _, s := range passiveScalarSpecs {
+			add(s.Expr)
+		}
+		for _, e := range conditionalScalarExprs {
+			add(e)
+		}
+		f.plans = plans
+	})
+	return f.plans
+}
+
+// planFor returns the pre-compiled plan for one of the package's static
+// expressions, nil for a foreign expression (callers fall back to the
+// interpreter).
+func (f *Frame) planFor(e *Expr) *Plan { return f.sharedPlans()[e] }
 
 // Len returns the number of months on the frame's axis.
 func (f *Frame) Len() int { return len(f.Months) }

@@ -1,0 +1,395 @@
+package analysis
+
+// The plan compiler: the second stage of the query engine. The Expr
+// interpreter (expr.go) re-walks the tree, re-validates it and re-resolves
+// column selectors through the vocabulary maps on every evaluation; a Plan
+// does all of that exactly once, against one Frame's column layout, and
+// leaves behind a flat program whose evaluation is a single fused loop over
+// the month axis.
+//
+// Compilation lowers an expression as follows:
+//
+//   - column selectors (named, family:key, family:* wildcards) resolve to
+//     the concrete dense []int column — wildcard and sum nodes materialize
+//     their element-wise total once at compile time, so evaluation never
+//     allocates a scratch column;
+//   - the dominant pct(column / column) shape becomes a specialized fused
+//     kernel: one loop computing 100·num/den with the figure convention
+//     that an empty denominator yields 0;
+//   - scalar reductions (at/over/count/mean/min/max/first/last) stream the
+//     fused series value-by-value, so no intermediate slice is ever
+//     materialized.
+//
+// A Plan is bound to the Frame it was compiled against (its kernels hold
+// that frame's column slices); ValidFor revalidates the binding cheaply by
+// layout fingerprint when a study's generation advances. Plans are
+// immutable after Compile and safe for concurrent evaluation.
+//
+// Compiled evaluation is bit-for-bit identical to the interpreter —
+// plan_test.go proves it differentially for the whole catalog and for
+// randomly generated expressions, and FuzzCompileEval keeps it that way.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// planKernel selects the fused series loop.
+type planKernel uint8
+
+const (
+	// kernelZero: the series is identically zero (a never-observed column,
+	// an unobserved position class, or a ratio with a missing operand).
+	kernelZero planKernel = iota
+	// kernelCol: raw counts of one resolved column (column→series promotion).
+	kernelCol
+	// kernelPct: the specialized pct(column / column) shape.
+	kernelPct
+	// kernelPosition: the Figure 5 relative-position series.
+	kernelPosition
+)
+
+// reduceOp selects the scalar reduction applied to the kernel's series.
+type reduceOp uint8
+
+const (
+	reduceNone reduceOp = iota // series-kind plan, no reduction
+	reduceAt
+	reduceOver
+	reduceCount
+	reduceMean
+	reduceMin
+	reduceMax
+	reduceFirst
+	reduceLast
+)
+
+// Plan is a compiled, frame-bound query program. Compile it once per
+// (expression, frame) pair and evaluate it any number of times; evaluation
+// performs no validation, no vocabulary lookups and no allocation beyond
+// the result slice (none at all for scalars or EvalSeriesInto with a
+// caller-owned buffer).
+type Plan struct {
+	frame *Frame
+	kind  Kind
+	query string // canonical text form, the cache key
+
+	kernel planKernel
+	col    []int // kernelCol
+	num    []int // kernelPct numerator, reduceOver numerator
+	den    []int // kernelPct denominator, reduceOver denominator
+
+	posSum   []float64 // kernelPosition
+	posCount []int     // kernelPosition
+
+	reduce reduceOp
+	row    int // reduceAt: resolved row index, -1 when outside the frame
+}
+
+// Compile lowers a validated expression into a flat plan bound to f's
+// column layout. Compilation validates e (so any Expr is accepted) and is
+// the only place selector resolution happens; the returned plan evaluates
+// without ever consulting the column vocabulary again.
+func Compile(e *Expr, f *Frame) (*Plan, error) {
+	if f == nil {
+		return nil, fmt.Errorf("analysis: Compile on nil frame")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{frame: f, kind: e.Kind(), query: e.String(), row: -1}
+	switch p.kind {
+	case KindColumn, KindSeries:
+		p.compileSeries(e)
+	default:
+		p.compileScalar(e)
+	}
+	return p, nil
+}
+
+// CompileQuery parses src with ParseQuery and compiles it against f.
+func CompileQuery(src string, f *Frame) (*Plan, error) {
+	e, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(e, f)
+}
+
+// compileColumn resolves a validated column-kind expression to one dense
+// []int aligned with the frame's months. Sum nodes and family wildcards
+// materialize their total here, at compile time; nil means all-zero.
+func (p *Plan) compileColumn(e *Expr) []int {
+	f := p.frame
+	switch e.Op {
+	case OpCol:
+		name := fold(e.Col)
+		if get, ok := namedColumns[name]; ok {
+			return get(f)
+		}
+		i := strings.IndexByte(name, ':')
+		def := columnFamilies[name[:i]]
+		if key := name[i+1:]; key != "*" {
+			return def.column(f, key)
+		}
+		out := make([]int, f.Len())
+		for _, c := range def.all(f) {
+			for i, v := range c {
+				out[i] += v
+			}
+		}
+		return out
+	case OpSum:
+		out := make([]int, f.Len())
+		for _, a := range e.Args {
+			if c := p.compileColumn(a); c != nil {
+				for i, v := range c {
+					out[i] += v
+				}
+			}
+		}
+		return out
+	}
+	panic(fmt.Sprintf("analysis: compileColumn on %q node", e.Op))
+}
+
+// compileSeries lowers a validated series- or column-kind expression into
+// the plan's kernel slots.
+func (p *Plan) compileSeries(e *Expr) {
+	switch e.Op {
+	case OpPct:
+		num := p.compileColumn(e.Args[0])
+		den := p.compileColumn(e.Args[1])
+		if num == nil || den == nil {
+			// 100·0/den and n/0 both yield 0 under the figure convention.
+			p.kernel = kernelZero
+			return
+		}
+		p.kernel, p.num, p.den = kernelPct, num, den
+	case OpPosition:
+		class := classKeys[fold(e.Class)]
+		sums, counts := p.frame.PosSum[class], p.frame.PosCount[class]
+		if sums == nil || counts == nil {
+			p.kernel = kernelZero
+			return
+		}
+		p.kernel, p.posSum, p.posCount = kernelPosition, sums, counts
+	default: // column promotion: raw counts
+		if col := p.compileColumn(e); col != nil {
+			p.kernel, p.col = kernelCol, col
+		} else {
+			p.kernel = kernelZero
+		}
+	}
+}
+
+// compileScalar lowers a validated scalar-kind expression: the reductions
+// that fold whole columns (over/count) keep the resolved columns, the
+// series reductions keep the inner kernel and stream it at eval time.
+func (p *Plan) compileScalar(e *Expr) {
+	switch e.Op {
+	case OpAt:
+		p.reduce = reduceAt
+		m, _ := parseMonth(e.Month) // validated
+		if row, ok := p.frame.Row(m); ok {
+			p.row = row
+		}
+		p.compileSeries(e.Args[0])
+	case OpOver:
+		p.reduce = reduceOver
+		p.num = p.compileColumn(e.Args[0])
+		p.den = p.compileColumn(e.Args[1])
+	case OpCount:
+		p.reduce = reduceCount
+		p.col = p.compileColumn(e.Args[0])
+	default:
+		switch e.Op {
+		case OpMean:
+			p.reduce = reduceMean
+		case OpMin:
+			p.reduce = reduceMin
+		case OpMax:
+			p.reduce = reduceMax
+		case OpFirst:
+			p.reduce = reduceFirst
+		case OpLast:
+			p.reduce = reduceLast
+		}
+		p.compileSeries(e.Args[0])
+	}
+}
+
+// Kind returns what the plan evaluates to.
+func (p *Plan) Kind() Kind { return p.kind }
+
+// Query returns the canonical text form of the compiled expression — the
+// result-cache key.
+func (p *Plan) Query() string { return p.query }
+
+// Frame returns the frame the plan was compiled against.
+func (p *Plan) Frame() *Frame { return p.frame }
+
+// ValidFor reports whether the plan's column bindings are valid for f: the
+// exact frame it was compiled against, or a frame with an identical layout
+// fingerprint (same generation, month axis and column layout — equal
+// fingerprints mean the bound columns hold the same values). Holders
+// re-Compile when this returns false, i.e. whenever the study's generation
+// advances.
+func (p *Plan) ValidFor(f *Frame) bool {
+	return f != nil && (p.frame == f || p.frame.Fingerprint() == f.Fingerprint())
+}
+
+// seriesAt evaluates the fused series at one row — the streaming form the
+// scalar reductions consume, so they never materialize the series.
+func (p *Plan) seriesAt(i int) float64 {
+	switch p.kernel {
+	case kernelCol:
+		return float64(p.col[i])
+	case kernelPct:
+		if d := p.den[i]; d != 0 {
+			return 100 * float64(p.num[i]) / float64(d)
+		}
+		return 0
+	case kernelPosition:
+		if c := p.posCount[i]; c != 0 {
+			return 100 * p.posSum[i] / float64(c)
+		}
+		return 0
+	}
+	return 0
+}
+
+// EvalSeriesInto evaluates a series- or column-kind plan into dst, growing
+// it only when its capacity is short — with a caller-owned buffer of
+// frame length the evaluation is allocation-free. Scalar-kind plans return
+// nil (use EvalScalar).
+func (p *Plan) EvalSeriesInto(dst []float64) []float64 {
+	if p.kind == KindScalar {
+		return nil
+	}
+	n := p.frame.Len()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	switch p.kernel {
+	case kernelCol:
+		col := p.col[:n]
+		for i := range dst {
+			dst[i] = float64(col[i])
+		}
+	case kernelPct:
+		// The dominant catalog shape, fused into one loop with the slices
+		// pre-sliced for bounds-check elimination.
+		num, den := p.num[:n], p.den[:n]
+		for i := range dst {
+			if d := den[i]; d != 0 {
+				dst[i] = 100 * float64(num[i]) / float64(d)
+			} else {
+				dst[i] = 0
+			}
+		}
+	case kernelPosition:
+		sums, counts := p.posSum[:n], p.posCount[:n]
+		for i := range dst {
+			if c := counts[i]; c != 0 {
+				dst[i] = 100 * sums[i] / float64(c)
+			} else {
+				dst[i] = 0
+			}
+		}
+	default: // kernelZero
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// EvalSeries evaluates a series- or column-kind plan; the returned slice is
+// the evaluation's only allocation.
+func (p *Plan) EvalSeries() []float64 { return p.EvalSeriesInto(nil) }
+
+// EvalScalar evaluates a scalar-kind plan with zero allocations: the
+// reduction streams the fused series instead of materializing it. Results
+// are bit-for-bit identical to the interpreter's EvalScalar.
+func (p *Plan) EvalScalar() float64 {
+	switch p.reduce {
+	case reduceAt:
+		if p.row < 0 {
+			return 0
+		}
+		return p.seriesAt(p.row)
+	case reduceOver:
+		num, den := sumCol(p.num), sumCol(p.den)
+		if den == 0 {
+			return 0
+		}
+		return 100 * float64(num) / float64(den)
+	case reduceCount:
+		return float64(sumCol(p.col))
+	}
+	n := p.frame.Len()
+	if n == 0 {
+		return 0
+	}
+	switch p.reduce {
+	case reduceMean:
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += p.seriesAt(i)
+		}
+		return s / float64(n)
+	case reduceMin:
+		m := p.seriesAt(0)
+		for i := 1; i < n; i++ {
+			if v := p.seriesAt(i); v < m {
+				m = v
+			}
+		}
+		return m
+	case reduceMax:
+		m := p.seriesAt(0)
+		for i := 1; i < n; i++ {
+			if v := p.seriesAt(i); v > m {
+				m = v
+			}
+		}
+		return m
+	case reduceFirst:
+		return p.seriesAt(0)
+	case reduceLast:
+		return p.seriesAt(n - 1)
+	}
+	panic(fmt.Sprintf("analysis: EvalScalar on series-kind plan %q", p.query))
+}
+
+// Eval evaluates the plan into the same QueryResult the interpreter's
+// Frame.Query produces, byte-identical on the wire.
+func (p *Plan) Eval() QueryResult {
+	if p.kind == KindScalar {
+		return QueryResult{Query: p.query, Kind: "scalar", Value: p.EvalScalar()}
+	}
+	f := p.frame
+	pts := make([]Point, f.Len())
+	switch p.kernel {
+	case kernelPct:
+		num, den := p.num[:len(pts)], p.den[:len(pts)]
+		for i := range pts {
+			v := 0.0
+			if d := den[i]; d != 0 {
+				v = 100 * float64(num[i]) / float64(d)
+			}
+			pts[i] = Point{Month: f.Months[i], Value: v}
+		}
+	default:
+		for i := range pts {
+			pts[i] = Point{Month: f.Months[i], Value: p.seriesAt(i)}
+		}
+	}
+	return QueryResult{
+		Query:  p.query,
+		Kind:   "series",
+		Series: Series{Name: p.query, Points: pts, index: f.index},
+	}
+}

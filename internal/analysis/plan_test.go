@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tlsage/internal/notary"
+	"tlsage/internal/simulate"
+	"tlsage/internal/timeline"
+)
+
+// testFrames builds a spread of frames the differential tests run over: the
+// shared full-window frame, a small frame with a different seed, a narrow
+// window that excludes most at() months, and the empty frame.
+func testFrames(t testing.TB) []*Frame {
+	t.Helper()
+	small := simulate.DefaultOptions(60)
+	small.Seed = 99
+	narrow := simulate.DefaultOptions(40)
+	narrow.Start = timeline.M(2016, time.January)
+	narrow.End = timeline.M(2016, time.June)
+	frames := []*Frame{sharedFrame(t), NewFrame(notary.NewAggregate())}
+	for _, o := range []simulate.Options{small, narrow} {
+		agg, err := simulate.New(o).RunAggregate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, NewFrame(agg))
+	}
+	return frames
+}
+
+// assertSameResult requires two QueryResults to be bit-for-bit equal: same
+// kind, same scalar value, same points.
+func assertSameResult(t *testing.T, e *Expr, want, got QueryResult) {
+	t.Helper()
+	if want.Query != got.Query || want.Kind != got.Kind {
+		t.Fatalf("%s: result header differs: (%q, %s) vs (%q, %s)",
+			e, want.Query, want.Kind, got.Query, got.Kind)
+	}
+	if want.Value != got.Value {
+		t.Fatalf("%s: scalar differs: %v vs %v", e, want.Value, got.Value)
+	}
+	if want.Series.Name != got.Series.Name ||
+		!reflect.DeepEqual(want.Series.Points, got.Series.Points) {
+		t.Fatalf("%s: series differs:\n%v\n%v", e, want.Series.Points, got.Series.Points)
+	}
+}
+
+// TestCompileCatalogParity: every static expression in the package — all
+// catalog metrics, impact metrics and passive scalars — must evaluate
+// identically through the compiled plan and the interpreter, on every test
+// frame including the empty one.
+func TestCompileCatalogParity(t *testing.T) {
+	var exprs []*Expr
+	for _, spec := range catalog {
+		for _, m := range spec.Metrics {
+			exprs = append(exprs, m.Expr)
+		}
+	}
+	for _, im := range impactMetrics {
+		exprs = append(exprs, im.expr)
+	}
+	for _, s := range passiveScalarSpecs {
+		exprs = append(exprs, s.Expr)
+	}
+	exprs = append(exprs, conditionalScalarExprs...)
+
+	for _, f := range testFrames(t) {
+		for _, e := range exprs {
+			p, err := Compile(e, f)
+			if err != nil {
+				t.Fatalf("compile %s: %v", e, err)
+			}
+			want, err := f.Query(e)
+			if err != nil {
+				t.Fatalf("interpret %s: %v", e, err)
+			}
+			assertSameResult(t, e, want, p.Eval())
+			// The memoized catalog plan must agree too.
+			if mp := f.planFor(e); mp == nil {
+				t.Fatalf("no shared plan for static expression %s", e)
+			} else {
+				assertSameResult(t, e, want, mp.Eval())
+			}
+		}
+	}
+}
+
+// TestCompileRandomParity: the differential property test — randomly
+// generated valid expressions must compile and evaluate bit-for-bit equal to
+// the interpreter across frames of different seeds, windows and emptiness.
+func TestCompileRandomParity(t *testing.T) {
+	frames := testFrames(t)
+	rnd := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		e := randomExpr(rnd, Kind(rnd.Intn(3)), 3)
+		for _, f := range frames {
+			p, err := Compile(e, f)
+			if err != nil {
+				t.Fatalf("compile %s: %v", e, err)
+			}
+			want, err := f.Query(e)
+			if err != nil {
+				t.Fatalf("interpret %s: %v", e, err)
+			}
+			assertSameResult(t, e, want, p.Eval())
+			if p.Kind() != e.Kind() || p.Query() != e.String() {
+				t.Fatalf("%s: plan metadata (%s, %q)", e, p.Kind(), p.Query())
+			}
+		}
+	}
+}
+
+// TestCompileRejectsInvalid: compilation must validate, not trust, its input
+// — the result cache keys on canonical text, so an invalid tree must never
+// produce a plan (or a key).
+func TestCompileRejectsInvalid(t *testing.T) {
+	f := sharedFrame(t)
+	bad := []*Expr{
+		{Op: OpCol, Col: "no-such-column"},
+		{Op: OpCol, Col: "pct(total / total)"}, // key-impersonation attempt
+		{Op: OpPct, Args: []*Expr{{Op: OpCol, Col: "total"}}},
+		{Op: OpAt, Month: "2018-13", Args: []*Expr{{Op: OpCol, Col: "total"}}},
+	}
+	for _, e := range bad {
+		if _, err := Compile(e, f); err == nil {
+			t.Errorf("Compile accepted invalid expr %q", e)
+		}
+	}
+	if _, err := CompileQuery("pct(version:tls12 / established", f); err == nil {
+		t.Error("CompileQuery accepted an unbalanced query")
+	}
+}
+
+// TestPlanValidFor: a plan is valid for its own frame and for any frame with
+// an identical layout fingerprint (same aggregate, rebuilt), and invalid for
+// a frame of different content or for nil.
+func TestPlanValidFor(t *testing.T) {
+	f := sharedFrame(t)
+	p, err := CompileQuery("pct(version:tls12 / established)", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ValidFor(f) {
+		t.Error("plan invalid for its own frame")
+	}
+	if p.Frame() != f {
+		t.Error("Frame() identity")
+	}
+	rebuilt := NewFrame(sharedAgg(t))
+	if rebuilt.Fingerprint() != f.Fingerprint() {
+		t.Error("rebuilding the same aggregate changed the fingerprint")
+	}
+	if !p.ValidFor(rebuilt) {
+		t.Error("plan invalid for an identical rebuild")
+	}
+	if p.ValidFor(nil) {
+		t.Error("plan valid for nil frame")
+	}
+	other := NewFrame(notary.NewAggregate())
+	if p.ValidFor(other) {
+		t.Error("plan valid for a frame with different content")
+	}
+	if other.Fingerprint() == f.Fingerprint() {
+		t.Error("empty and populated frames share a fingerprint")
+	}
+}
+
+// TestPlanEvalAllocs pins the compiled engine's allocation discipline:
+// series evaluation allocates only its result slice (nothing at all with a
+// reused buffer), and scalar evaluation allocates nothing — including for
+// sum() and wildcard selectors, which materialize at compile time.
+func TestPlanEvalAllocs(t *testing.T) {
+	f := sharedFrame(t)
+	series := []string{
+		"pct(version:tls12 / established)",
+		"pct(sum(kex:ecdhe, kex:tls13) / established)",
+		"pct(curve:x25519 / curve:*)",
+		"position(aead)",
+	}
+	for _, src := range series {
+		p, err := CompileQuery(src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() { p.EvalSeries() }); n > 1 {
+			t.Errorf("%s: EvalSeries %.1f allocs/run, want 1 (the result slice)", src, n)
+		}
+		buf := make([]float64, f.Len())
+		if n := testing.AllocsPerRun(200, func() { p.EvalSeriesInto(buf) }); n != 0 {
+			t.Errorf("%s: EvalSeriesInto(reused) %.1f allocs/run, want 0", src, n)
+		}
+	}
+	scalars := []string{
+		"at(pct(adv-tls13 / total), 2018-04)",
+		"over(curve:x25519 / curve:*)",
+		"mean(pct(sum(version:tls12, version:tls13) / established))",
+		"count(total)",
+	}
+	for _, src := range scalars {
+		p, err := CompileQuery(src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() { p.EvalScalar() }); n != 0 {
+			t.Errorf("%s: EvalScalar %.1f allocs/run, want 0", src, n)
+		}
+	}
+}
+
+// FuzzCompileEval extends FuzzParseQuery through the compiler: any input the
+// parser accepts must compile, evaluate without panicking, and agree with
+// the interpreter exactly.
+func FuzzCompileEval(fz *testing.F) {
+	for _, spec := range Catalog() {
+		for _, m := range spec.Metrics {
+			fz.Add(m.Expr.String())
+		}
+	}
+	fz.Add("at(pct(adv-tls13 / total), 2018-04)")
+	fz.Add("over(null-negotiated / established)")
+	fz.Add("max(pct(curve:x25519 / curve:*))")
+	fz.Add("count(sum(version:tls12, curve:*))")
+	fz.Add("position(3des)")
+	small := simulate.DefaultOptions(30)
+	agg, err := simulate.New(small).RunAggregate()
+	if err != nil {
+		fz.Fatal(err)
+	}
+	frames := []*Frame{NewFrame(agg), NewFrame(notary.NewAggregate())}
+	fz.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		for _, f := range frames {
+			p, err := Compile(e, f)
+			if err != nil {
+				t.Fatalf("parsed query %q fails to compile: %v", src, err)
+			}
+			want, err := f.Query(e)
+			if err != nil {
+				t.Fatalf("parsed query %q fails to interpret: %v", src, err)
+			}
+			got := p.Eval()
+			if want.Kind != got.Kind || want.Value != got.Value ||
+				!reflect.DeepEqual(want.Series.Points, got.Series.Points) {
+				t.Fatalf("compiled and interpreted results differ for %q", src)
+			}
+		}
+	})
+}

@@ -56,33 +56,61 @@ var passiveScalarSpecs = []struct {
 	{"S-F7b", "export advertised, 2018", 1.03, q("at(pct(adv-export / total), 2018-03)")},
 }
 
+// conditionalScalarExprs holds the guarded scalar rows' expressions as
+// package-level data, so they parse once and compile into every frame's
+// shared plan set instead of re-parsing on each PassiveScalarsFrame call.
+var (
+	exprNullNegotiated = q("over(null-negotiated / established)")
+	exprAnonNegotiated = q("over(anon-negotiated / established)")
+	exprSecp256r1Share = q("over(curve:secp256r1 / curve:*)")
+	exprSecp384r1Share = q("over(curve:secp384r1 / curve:*)")
+	exprX25519Share    = q("over(curve:x25519 / curve:*)")
+	exprX25519Feb18    = q("at(pct(curve:x25519 / curve:*), 2018-02)")
+
+	conditionalScalarExprs = []*Expr{
+		exprNullNegotiated, exprAnonNegotiated,
+		exprSecp256r1Share, exprSecp384r1Share, exprX25519Share, exprX25519Feb18,
+	}
+)
+
+// scalarOf evaluates a static scalar expression through the frame's
+// pre-compiled plan, falling back to the interpreter for foreign
+// expressions.
+func (f *Frame) scalarOf(e *Expr) float64 {
+	if p := f.planFor(e); p != nil {
+		return p.EvalScalar()
+	}
+	return f.evalScalar(e)
+}
+
 // PassiveScalarsFrame extracts the passive scalars from a frame snapshot.
-// Every value is the evaluation of a serializable query expression; the few
-// rows the seed emitted conditionally keep their presence guards.
+// Every value is the evaluation of a serializable query expression,
+// executed through the frame's pre-compiled plans; the few rows the seed
+// emitted conditionally keep their presence guards.
 func PassiveScalarsFrame(f *Frame) []Scalar {
 	out := make([]Scalar, 0, len(passiveScalarSpecs)+6)
 	for _, s := range passiveScalarSpecs {
-		out = append(out, Scalar{s.ID, s.Name, s.Paper, f.evalScalar(s.Expr), "%"})
+		out = append(out, Scalar{s.ID, s.Name, s.Paper, f.scalarOf(s.Expr), "%"})
 	}
 
 	// Whole-dataset NULL and anonymous negotiation rates (§6.1, §6.2).
 	if sumCol(f.Established) > 0 {
 		out = append(out,
 			Scalar{"S-61", "NULL negotiated, whole dataset", 2.84,
-				f.evalScalar(q("over(null-negotiated / established)")), "%"},
+				f.scalarOf(exprNullNegotiated), "%"},
 			Scalar{"S-62", "anonymous negotiated, whole dataset", 0.17,
-				f.evalScalar(q("over(anon-negotiated / established)")), "%"},
+				f.scalarOf(exprAnonNegotiated), "%"},
 		)
 	}
 
 	// §6.3.3 curve shares: each named curve over the all-curve wildcard.
 	out = append(out,
 		Scalar{"S6a", "secp256r1 share, whole dataset", 84.4,
-			f.evalScalar(q("over(curve:secp256r1 / curve:*)")), "%"},
+			f.scalarOf(exprSecp256r1Share), "%"},
 		Scalar{"S6b", "secp384r1 share, whole dataset", 8.6,
-			f.evalScalar(q("over(curve:secp384r1 / curve:*)")), "%"},
+			f.scalarOf(exprSecp384r1Share), "%"},
 		Scalar{"S6c", "x25519 share, whole dataset", 6.7,
-			f.evalScalar(q("over(curve:x25519 / curve:*)")), "%"},
+			f.scalarOf(exprX25519Share), "%"},
 	)
 	if feb18, ok := f.Row(timeline.M(2018, time.February)); ok {
 		grand := 0
@@ -91,7 +119,7 @@ func PassiveScalarsFrame(f *Frame) []Scalar {
 		}
 		if grand > 0 {
 			out = append(out, Scalar{"S6d", "x25519 share, Feb 2018", 22.2,
-				f.evalScalar(q("at(pct(curve:x25519 / curve:*), 2018-02)")), "%"})
+				f.scalarOf(exprX25519Feb18), "%"})
 		}
 	}
 	return out

@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -34,6 +35,12 @@ import (
 	"tlsage/internal/wire"
 )
 
+// ErrNotRun reports a study that has no aggregate yet: neither Run nor a
+// live constructor (NewLiveStudy, NewStudyFromAggregate) has given it data.
+// The service layer matches it with errors.Is to map "not ready" to 503
+// instead of 400.
+var ErrNotRun = errors.New("core: study has not been run")
+
 // Study orchestrates the passive measurement.
 type Study struct {
 	Options simulate.Options
@@ -54,6 +61,26 @@ type Study struct {
 	// aggregate's generation moves (Run, LoadLog, live ingestion, or any
 	// Add/Merge through the Aggregate() accessor).
 	frame *analysis.Frame
+
+	// queryCache, when set, fronts Query/QueryExpr with a shared
+	// generation-keyed result cache; cacheID namespaces this study's keys
+	// within it. cacheEpoch versions aggregate replacements (Run, LoadLog):
+	// generations count records, so a rebuilt study can land on a colliding
+	// generation, and the epoch — bumped under mu in the same critical
+	// section as the swap — keeps its cache keys disjoint from the old
+	// aggregate's. Guarded by mu like the aggregate it versions.
+	queryCache *analysis.QueryCache
+	cacheID    string
+	cacheEpoch uint64
+}
+
+// SetQueryCache attaches a (possibly shared) query result cache, with id
+// namespacing this study's entries. A nil cache — the default — disables
+// result caching; queries then compile and evaluate on every call.
+func (s *Study) SetQueryCache(c *analysis.QueryCache, id string) {
+	s.mu.Lock()
+	s.queryCache, s.cacheID = c, id
+	s.mu.Unlock()
 }
 
 // NewStudy creates a study at the given per-month sample size with the
@@ -138,6 +165,7 @@ func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	s.mu.Lock()
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
+	s.cacheEpoch++
 	s.mu.Unlock()
 	s.invalidateFrame()
 	return nil
@@ -155,6 +183,7 @@ func (s *Study) LoadLog(r io.Reader) error {
 	s.mu.Lock()
 	s.agg = agg
 	s.db = fingerprint.BuildDefault()
+	s.cacheEpoch++
 	s.mu.Unlock()
 	s.invalidateFrame()
 	return nil
@@ -212,7 +241,7 @@ func (s *Study) Counts() (records, months int, generation uint64, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.agg == nil {
-		return 0, 0, 0, fmt.Errorf("core: study has not been run")
+		return 0, 0, 0, ErrNotRun
 	}
 	return s.agg.TotalRecords(), s.agg.NumMonths(), s.agg.Generation(), nil
 }
@@ -245,7 +274,7 @@ func (s *Study) Frame() (*analysis.Frame, error) {
 // frameLocked is Frame's body; callers hold s.mu (read or write).
 func (s *Study) frameLocked() (*analysis.Frame, error) {
 	if s.agg == nil {
-		return nil, fmt.Errorf("core: study has not been run")
+		return nil, ErrNotRun
 	}
 	s.frameMu.Lock()
 	defer s.frameMu.Unlock()
@@ -296,21 +325,96 @@ func (s *Study) FigureByName(name string) (analysis.Figure, error) {
 // Query parses src with analysis.ParseQuery and evaluates it against the
 // study's cached frame — the ad-hoc metric path beyond the figure catalog.
 func (s *Study) Query(src string) (analysis.QueryResult, error) {
+	res, _, _, err := s.QueryInfo(src)
+	return res, err
+}
+
+// QueryInfo is Query plus the aggregate generation the result belongs to
+// and whether it was served from the attached result cache — the service
+// layer stamps both onto response headers.
+func (s *Study) QueryInfo(src string) (analysis.QueryResult, uint64, bool, error) {
 	e, err := analysis.ParseQuery(src)
 	if err != nil {
-		return analysis.QueryResult{}, err
+		return analysis.QueryResult{}, 0, false, err
 	}
-	return s.QueryExpr(e)
+	return s.queryValidated(e)
 }
 
 // QueryExpr evaluates an already-built expression (e.g. decoded from JSON)
 // against the study's cached frame.
 func (s *Study) QueryExpr(e *analysis.Expr) (analysis.QueryResult, error) {
-	f, err := s.Frame()
-	if err != nil {
-		return analysis.QueryResult{}, err
+	res, _, _, err := s.QueryExprInfo(e)
+	return res, err
+}
+
+// QueryExprInfo is QueryExpr with the generation/cache-hit metadata of
+// QueryInfo. The expression is validated before anything else: the cache is
+// keyed by canonical text, and only a validated expression's String() is
+// guaranteed to be canonical (a malformed column name could otherwise
+// impersonate another query's key).
+func (s *Study) QueryExprInfo(e *analysis.Expr) (analysis.QueryResult, uint64, bool, error) {
+	if err := e.Validate(); err != nil {
+		return analysis.QueryResult{}, 0, false, err
 	}
-	return f.Query(e)
+	return s.queryValidated(e)
+}
+
+// cacheCoords snapshots the cache handle and the study's current
+// (epoch, generation) coordinates in one shared lock acquisition — the hit
+// path's only shared-state read; it never builds or touches a Frame.
+func (s *Study) cacheCoords() (cache *analysis.QueryCache, id string, epoch, generation uint64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.agg == nil {
+		return nil, "", 0, 0, ErrNotRun
+	}
+	return s.queryCache, s.cacheID, s.cacheEpoch, s.agg.Generation(), nil
+}
+
+// frameWithEpoch returns the current frame together with the cache epoch it
+// belongs to, read under one shared lock acquisition so an aggregate swap
+// can never pair a frame with the wrong epoch.
+func (s *Study) frameWithEpoch() (*analysis.Frame, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, err := s.frameLocked()
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, s.cacheEpoch, nil
+}
+
+// queryValidated serves a validated expression: from the result cache when
+// an entry exists for the study's current (epoch, generation) — without
+// touching the frame — and otherwise by compiling a plan against the
+// current frame, evaluating it, and caching the result under coordinates
+// read atomically with that frame. A nil cache degrades to plain
+// compile-and-evaluate.
+func (s *Study) queryValidated(e *analysis.Expr) (analysis.QueryResult, uint64, bool, error) {
+	cache, id, epoch, gen, err := s.cacheCoords()
+	if err != nil {
+		return analysis.QueryResult{}, 0, false, err
+	}
+	var key string
+	if cache != nil {
+		key = e.String()
+		if res, hit := cache.Get(id, epoch, gen, key); hit {
+			return res, gen, true, nil
+		}
+	}
+	f, epoch, err := s.frameWithEpoch()
+	if err != nil {
+		return analysis.QueryResult{}, 0, false, err
+	}
+	p, err := analysis.Compile(e, f)
+	if err != nil {
+		return analysis.QueryResult{}, 0, false, err
+	}
+	res := p.Eval()
+	if cache != nil {
+		cache.Put(id, epoch, f.Generation(), key, res)
+	}
+	return res, f.Generation(), false, nil
 }
 
 // Scalars returns the passive and fingerprint scalar findings. Both halves
@@ -349,7 +453,7 @@ func (s *Study) Table2() (analysis.Table2Report, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.agg == nil {
-		return analysis.Table2Report{}, fmt.Errorf("core: study has not been run")
+		return analysis.Table2Report{}, ErrNotRun
 	}
 	return analysis.BuildTable2(s.agg, s.db), nil
 }
@@ -373,7 +477,7 @@ func (s *Study) FingerprintDurations() (fingerprint.DurationStats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.agg == nil {
-		return fingerprint.DurationStats{}, fmt.Errorf("core: study has not been run")
+		return fingerprint.DurationStats{}, ErrNotRun
 	}
 	return fingerprint.ComputeDurationStats(s.agg.FPDurations()), nil
 }

@@ -718,3 +718,115 @@ func TestStudyConcurrentIngestAndFrame(t *testing.T) {
 		t.Errorf("final frame generation %d, want %d", f.Generation(), want)
 	}
 }
+
+// TestStudyQueryCacheIntegration pins the generation-keyed result cache:
+// repeats hit, canonicalization shares entries across text and Expr forms,
+// ingestion invalidates by generation, and an aggregate replacement that
+// lands on a colliding generation is kept apart by the epoch.
+func TestStudyQueryCacheIntegration(t *testing.T) {
+	s := NewStudy(30)
+	s.Options.End = timeline.M(2012, time.December)
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	cache := analysis.NewQueryCache(64, 1<<20)
+	s.SetQueryCache(cache, "test")
+
+	const src = "pct(version:tls12 / established)"
+	res1, gen1, hit1, err := s.QueryInfo(src)
+	if err != nil || hit1 {
+		t.Fatalf("first query: err=%v hit=%v, want a miss", err, hit1)
+	}
+	res2, gen2, hit2, err := s.QueryInfo(src)
+	if err != nil || !hit2 || gen2 != gen1 {
+		t.Fatalf("repeat query: err=%v hit=%v gen=%d/%d, want a hit at the same generation",
+			err, hit2, gen2, gen1)
+	}
+	if res1.Query != res2.Query || len(res1.Series.Points) != len(res2.Series.Points) {
+		t.Fatal("cached result differs from the computed one")
+	}
+	for i := range res1.Series.Points {
+		if res1.Series.Points[i] != res2.Series.Points[i] {
+			t.Fatal("cached points differ from the computed ones")
+		}
+	}
+
+	// The Expr form canonicalizes to the same key and shares the entry.
+	e, err := analysis.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, hit, err := s.QueryExprInfo(e); err != nil || !hit {
+		t.Errorf("Expr form of a cached query: err=%v hit=%v, want a hit", err, hit)
+	}
+
+	// A generation advance through live ingestion makes the entry
+	// unreachable; the recomputed result matches the interpreter exactly.
+	donor := notary.NewAggregate()
+	donor.Add(&notary.Record{Date: timeline.D(2012, time.March, 3)})
+	if err := s.MergeShard(donor); err != nil {
+		t.Fatal(err)
+	}
+	res3, gen3, hit3, err := s.QueryInfo(src)
+	if err != nil || hit3 || gen3 != gen1+1 {
+		t.Fatalf("post-ingest query: err=%v hit=%v gen=%d, want a miss at generation %d",
+			err, hit3, gen3, gen1+1)
+	}
+	f, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Query(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Series.Points {
+		if res3.Series.Points[i] != want.Series.Points[i] {
+			t.Fatal("post-ingest result diverges from the interpreter")
+		}
+	}
+
+	// Replacing the aggregate (Run with a different seed, same record
+	// count) lands on a colliding generation — the epoch must keep the old
+	// entries unreachable so no stale body is ever served.
+	s.Options.Seed = 2
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	res4, gen4, hit4, err := s.QueryInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen4 != gen1 {
+		t.Fatalf("epoch test needs a generation collision: got %d, want %d", gen4, gen1)
+	}
+	if hit4 {
+		t.Fatal("stale cache hit across an aggregate replacement")
+	}
+	f4, err := s.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want4, err := f4.Query(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want4.Series.Points {
+		if res4.Series.Points[i] != want4.Series.Points[i] {
+			t.Fatal("post-replacement result diverges from the interpreter")
+		}
+	}
+	if _, _, hit5, err := s.QueryInfo(src); err != nil || !hit5 {
+		t.Errorf("repeat after replacement: err=%v hit=%v, want a hit", err, hit5)
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache stats unchanged: %+v", st)
+	}
+
+	// An unrun study reports the sentinel through the cached path too.
+	var unrun Study
+	unrun.SetQueryCache(cache, "unrun")
+	if _, _, _, err := unrun.QueryInfo(src); !errors.Is(err, ErrNotRun) {
+		t.Errorf("unrun study: err=%v, want ErrNotRun", err)
+	}
+}

@@ -89,6 +89,12 @@ type Server struct {
 	snaps   *snapshotManager
 	durOpts *DurabilityOptions
 
+	// queryCache, when configured, fronts POST /query with the study's
+	// generation-keyed result cache (usually one cache shared across every
+	// study a Router hosts). Held here only for the /healthz gauges — the
+	// lookup itself lives in core.Study.
+	queryCache *analysis.QueryCache
+
 	// tcpMu guards tcpLns, the raw-TCP listeners Close shuts down; connWG
 	// tracks in-flight TCP ingest handlers so Close can drain them before
 	// flushing the durable tee.
@@ -151,6 +157,18 @@ func WithIdleTimeout(d time.Duration) Option {
 		if d > 0 {
 			s.idleTimeout = d
 		}
+	}
+}
+
+// WithQueryCache attaches a query result cache to the served study, with id
+// namespacing its entries (the Router passes the study id, so one cache
+// serves every hosted study without key collisions). POST /query responses
+// then carry X-Cache: hit|miss and /healthz reports the cache gauges. A nil
+// cache disables caching.
+func WithQueryCache(c *analysis.QueryCache, id string) Option {
+	return func(s *Server) {
+		s.queryCache = c
+		s.study.SetQueryCache(c, id)
 	}
 }
 
@@ -496,29 +514,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding query request: %w", err))
 		return
 	}
-	// Evaluate against one frame snapshot and stamp its own generation, so
-	// the header always describes exactly the data in the body even while
-	// ingestion advances the study.
-	f, err := s.study.Frame()
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	w.Header().Set("X-Generation", strconv.FormatUint(f.Generation(), 10))
-	var res analysis.QueryResult
+	// Queries go through the study's compiled-plan path, which consults the
+	// result cache (when one is attached) and reports the exact generation
+	// the body was computed against — the X-Generation header therefore
+	// always describes the data in the body even while ingestion advances
+	// the study, and X-Cache tells dashboards whether the hot path was hit.
+	var (
+		res analysis.QueryResult
+		gen uint64
+		hit bool
+		err error
+	)
 	switch {
 	case req.Query != "":
-		res, err = f.QueryString(req.Query)
+		res, gen, hit, err = s.study.QueryInfo(req.Query)
 	case req.Expr != nil:
-		res, err = f.Query(req.Expr)
+		res, gen, hit, err = s.study.QueryExprInfo(req.Expr)
 	default:
+		s.setGeneration(w)
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf(`empty query request (want {"query": "..."} or {"expr": {...}})`))
 		return
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrNotRun) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		s.setGeneration(w)
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	w.Header().Set("X-Generation", strconv.FormatUint(gen, 10))
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -553,6 +584,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		health["snapshot_age_seconds"] = ageSeconds
 		health["snapshots_written"] = written
 		health["snapshot_errors"] = errs
+	}
+	if s.queryCache != nil {
+		// Gauges are cache-wide: with a Router-shared cache every study
+		// reports the same numbers, which is what capacity planning wants.
+		health["query_cache"] = s.queryCache.Stats()
 	}
 	writeJSON(w, http.StatusOK, health)
 }

@@ -513,3 +513,123 @@ func TestCloseDrainsInFlightTCPStream(t *testing.T) {
 		t.Errorf("drained tee holds %d records, want %d — Close flushed before the stream finished", got, want)
 	}
 }
+
+// TestQueryCacheEndToEnd pins the served cache behavior: X-Cache flips
+// miss→hit with byte-identical bodies, cached and uncached servers answer
+// identically, ingestion invalidates by generation, and /healthz reports
+// the cache gauges only when a cache is attached.
+func TestQueryCacheEndToEnd(t *testing.T) {
+	log, _ := sharedLog(t)
+
+	cache := analysis.NewQueryCache(128, 1<<20)
+	cached := NewServer(core.NewLiveStudy(), WithQueryCache(cache, "notary"))
+	tsCached := httptest.NewServer(cached.Handler())
+	defer tsCached.Close()
+	plain := NewServer(core.NewLiveStudy())
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+
+	ingest := func(ts *httptest.Server) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	ingest(tsCached)
+	ingest(tsPlain)
+
+	const reqBody = `{"query": "pct(version:tls12 / established)"}`
+	postQuery := func(ts *httptest.Server) (http.Header, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header, body
+	}
+
+	h1, body1 := postQuery(tsCached)
+	if h1.Get("X-Cache") != "miss" || h1.Get("X-Generation") == "" {
+		t.Fatalf("first query: X-Cache=%q X-Generation=%q, want a stamped miss",
+			h1.Get("X-Cache"), h1.Get("X-Generation"))
+	}
+	h2, body2 := postQuery(tsCached)
+	if h2.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat query: X-Cache=%q, want hit", h2.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit body differs from the computed body")
+	}
+	if h2.Get("X-Generation") != h1.Get("X-Generation") {
+		t.Error("cache hit stamped a different generation")
+	}
+
+	// An uncached server answers byte-identically (and is always a miss).
+	hp, bodyPlain := postQuery(tsPlain)
+	if hp.Get("X-Cache") != "miss" {
+		t.Errorf("uncached server: X-Cache=%q, want miss", hp.Get("X-Cache"))
+	}
+	if !bytes.Equal(bodyPlain, body1) {
+		t.Error("cached and uncached servers serve different bodies")
+	}
+
+	// Further ingestion advances the generation: the next query misses and
+	// stamps the new generation.
+	ingest(tsCached)
+	h3, _ := postQuery(tsCached)
+	if h3.Get("X-Cache") != "miss" {
+		t.Errorf("post-ingest query: X-Cache=%q, want miss", h3.Get("X-Cache"))
+	}
+	if h3.Get("X-Generation") == h1.Get("X-Generation") {
+		t.Error("post-ingest query stamped the stale generation")
+	}
+
+	// /healthz reports the gauges on the cached server only.
+	var health struct {
+		QueryCache *analysis.QueryCacheStats `json:"query_cache"`
+	}
+	if err := json.Unmarshal(mustGet(t, tsCached.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.QueryCache == nil {
+		t.Fatal("healthz lacks query_cache gauges on a cached server")
+	}
+	if health.QueryCache.Hits < 1 || health.QueryCache.Misses < 2 || health.QueryCache.Entries < 1 {
+		t.Errorf("query_cache gauges = %+v", *health.QueryCache)
+	}
+	health.QueryCache = nil
+	if err := json.Unmarshal(mustGet(t, tsPlain.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.QueryCache != nil {
+		t.Error("healthz reports query_cache gauges without a cache")
+	}
+
+	// A study with no aggregate still maps to 503 through the cached path.
+	empty := NewServer(&core.Study{}, WithQueryCache(cache, "empty"))
+	tsEmpty := httptest.NewServer(empty.Handler())
+	defer tsEmpty.Close()
+	resp, err := http.Post(tsEmpty.URL+"/query", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unrun study query status %d, want 503", resp.StatusCode)
+	}
+}
