@@ -261,7 +261,7 @@ func BenchmarkQueryCacheHit(b *testing.B) {
 	keys := make([]string, len(plans))
 	for i, p := range plans {
 		keys[i] = p.Query()
-		cache.Put("bench", 0, f.Generation(), keys[i], p.Eval())
+		cache.Put("bench", 0, f.Generation(), keys[i], p.Eval(), nil)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -269,7 +269,7 @@ func BenchmarkQueryCacheHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, key := range keys {
 			var ok bool
-			res, ok = cache.Get("bench", 0, f.Generation(), key)
+			res, _, ok = cache.Get("bench", 0, f.Generation(), key)
 			if !ok {
 				b.Fatal("unexpected miss")
 			}

@@ -6,8 +6,8 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-query-cache N]  live notary service: TSV ingest + JSON query endpoints, durable snapshots, restart recovery, cached queries
-//	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-retry N]  stream a log or a live simulation into a server
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-queue-bound N] [-query-cache N]  live notary service: TSV + binary-batch ingest, JSON query endpoints, durable snapshots, restart recovery, cached queries
+//	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-binary [-batch N]] [-retry N]  stream a log or a live simulation into a server
 //	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
@@ -101,8 +101,8 @@ func usage() {
 commands:
   simulate      run the passive Notary study (optionally write a TSV log)
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
-  serve         run the live notary service: ingest TSV streams, serve JSON queries
-  feed          stream a TSV log or a live simulation into a running server
+  serve         run the live notary service: ingest TSV or binary-batch streams, serve JSON queries
+  feed          stream a log or a live simulation into a running server (TSV or -binary batch frames)
   query         evaluate a metric expression (see README grammar) offline or against a server
   figure        print one catalog figure (-n 1–10 or -name) as a table or ASCII chart
   figures       print every figure
@@ -223,9 +223,11 @@ func cmdLoadLog(args []string) error {
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP listen address (ingest + query)")
-	tcpAddr := fs.String("tcp", "", "optional raw-TCP TSV ingest listen address (default study)")
+	tcpAddr := fs.String("tcp", "", "optional raw-TCP ingest listen address (TSV or binary batch, sniffed; default study)")
 	outPath := fs.String("out", "", "tee every record ingested into the default study to this TSV log")
 	flush := fs.Int("flush", 0, "records per ingest shard before merging (0 = default)")
+	queueBound := fs.Int("queue-bound", service.DefaultQueueBound,
+		"parsed shards buffered between stream readers and the merge loop; full = shed with 429/busy (0 = merge inline)")
 	studies := fs.String("studies", "notary", "comma-separated study ids to host; the first is the default")
 	snapDir := fs.String("snapshot-dir", "", "durable snapshot directory for the default study (enables crash recovery)")
 	snapEvery := fs.Uint64("snapshot-every", 50000, "snapshot after this many new records (0 = off)")
@@ -282,6 +284,7 @@ func cmdServe(args []string) error {
 		id = strings.TrimSpace(id)
 		opts := []service.Option{
 			service.WithFlushEvery(*flush),
+			service.WithQueueBound(*queueBound),
 			service.WithMaxInFlight(*maxInflight),
 			service.WithMaxBodyBytes(*maxBody),
 			service.WithIdleTimeout(*idleTimeout),
@@ -352,7 +355,7 @@ func cmdServe(args []string) error {
 				errc <- err
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "raw TSV ingest on tcp://%s\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "raw ingest (TSV or binary batch) on tcp://%s\n", ln.Addr())
 	}
 
 	var runErr error
@@ -388,10 +391,12 @@ func cmdServe(args []string) error {
 }
 
 // cmdFeed streams records into a running serve instance: either a replay of
-// a TSV connection log or a live simulation encoded on the fly. With -retry,
-// a stream the server sheds under load (HTTP 429 or a TCP "busy" line) is
-// retried with exponential backoff and jitter, honoring the server's
-// Retry-After hint.
+// a TSV connection log or a live simulation encoded on the fly. With
+// -binary the stream travels as length-prefixed batch frames (a TSV input
+// file is transcoded on the fly) — the fast path for bulk replay. With
+// -retry, a stream the server sheds under load (HTTP 429 or a TCP "busy"
+// line) is retried with exponential backoff and jitter, honoring the
+// server's Retry-After hint.
 func cmdFeed(args []string) error {
 	fs := flag.NewFlagSet("feed", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL (HTTP ingest)")
@@ -400,30 +405,68 @@ func cmdFeed(args []string) error {
 	conns := fs.Int("conns", 1000, "connections per month when simulating")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = all cores)")
+	binary := fs.Bool("binary", false, "send the binary batch framing instead of TSV (TSV input is transcoded)")
+	batch := fs.Int("batch", notary.DefaultBatchSize, "records per binary batch frame")
 	retry := fs.Int("retry", 0, "retries when the server sheds the stream under load (0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// encodeSink picks the wire encoder for a pipe: batch frames or TSV
+	// lines.
+	encodeSink := func(pw *io.PipeWriter) interface {
+		notary.Sink
+		Close() error
+	} {
+		if *binary {
+			return notary.NewBatchWriter(pw, *batch)
+		}
+		return notary.NewLogWriter(pw)
+	}
+
 	// The stream must be reopenable: a shed attempt restarts from the top,
 	// so each try replays the file — or re-runs the deterministic simulation.
 	var open func() (io.ReadCloser, error)
-	if *in != "" {
+	switch {
+	case *in != "" && !*binary:
 		open = func() (io.ReadCloser, error) { return os.Open(*in) }
-	} else {
+	case *in != "":
+		// Transcode the TSV log into batch frames on the fly: parse each
+		// line, re-encode into frames of -batch records, stream through a
+		// pipe. The feeder never holds more than one frame plus the pipe
+		// buffer.
+		open = func() (io.ReadCloser, error) {
+			f, err := os.Open(*in)
+			if err != nil {
+				return nil, err
+			}
+			pr, pw := io.Pipe()
+			go func() {
+				bw := notary.NewBatchWriter(pw, *batch)
+				err := notary.ReadLog(f, bw)
+				if err == nil {
+					err = bw.Close()
+				}
+				f.Close()
+				pw.CloseWithError(err)
+			}()
+			return pr, nil
+		}
+	default:
 		opts := simulate.DefaultOptions(*conns)
 		opts.Seed = *seed
 		opts.Workers = *workers
 		open = func() (io.ReadCloser, error) {
-			// Live replay: the simulator streams TSV straight into the
-			// request body, so the feeder holds no more than the pipe's
-			// buffer. The same seed reproduces the same stream on a retry.
+			// Live replay: the simulator streams straight into the request
+			// body (TSV lines or batch frames), so the feeder holds no more
+			// than the pipe's buffer. The same seed reproduces the same
+			// stream on a retry.
 			pr, pw := io.Pipe()
 			go func() {
-				lw := notary.NewLogWriter(pw)
-				err := simulate.New(opts).Run(lw)
+				enc := encodeSink(pw)
+				err := simulate.New(opts).Run(enc)
 				if err == nil {
-					err = lw.Close()
+					err = enc.Close()
 				}
 				pw.CloseWithError(err)
 			}()
@@ -432,6 +475,7 @@ func cmdFeed(args []string) error {
 	}
 
 	fopts := service.FeedOptions{
+		Binary:     *binary,
 		MaxRetries: *retry,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -41,10 +41,14 @@ type cacheKey struct {
 	query      string
 }
 
-// cacheEntry is an LRU element payload.
+// cacheEntry is an LRU element payload. body is the serialized JSON
+// response for res (as the service writes it), cached alongside so a hit
+// skips json.Marshal on the serving path; nil when the owner never
+// materialized one.
 type cacheEntry struct {
 	key  cacheKey
 	res  QueryResult
+	body []byte
 	size int64
 }
 
@@ -76,23 +80,26 @@ func NewQueryCache(maxEntries int, maxBytes int64) *QueryCache {
 }
 
 // resultSize approximates an entry's memory footprint: struct overhead plus
-// the strings and the 24-byte Points.
-func resultSize(key cacheKey, res QueryResult) int64 {
+// the strings, the 24-byte Points and the serialized body.
+func resultSize(key cacheKey, res QueryResult, body []byte) int64 {
 	const overhead = 160 // key + entry + element bookkeeping, roughly
 	return overhead +
 		int64(len(key.study)+len(key.query)) +
 		int64(len(res.Query)+len(res.Kind)+len(res.Series.Name)) +
-		int64(24*len(res.Series.Points))
+		int64(24*len(res.Series.Points)) +
+		int64(len(body))
 }
 
-// Get returns the cached result for the key, marking it most recently used.
-// The returned QueryResult is a shallow clone: it shares the immutable
-// Points backing array with the cache, so callers must treat Series.Points
-// as read-only (every existing consumer — JSON encoding, rendering,
-// Series.Value — already does).
-func (c *QueryCache) Get(study string, epoch, generation uint64, query string) (QueryResult, bool) {
+// Get returns the cached result and serialized body for the key, marking it
+// most recently used. The returned QueryResult is a shallow clone: it shares
+// the immutable Points backing array with the cache, so callers must treat
+// Series.Points as read-only (every existing consumer — JSON encoding,
+// rendering, Series.Value — already does). The body, when non-nil, is
+// likewise shared and must not be mutated; it may be nil even on a hit when
+// the entry was stored without one.
+func (c *QueryCache) Get(study string, epoch, generation uint64, query string) (QueryResult, []byte, bool) {
 	if c == nil {
-		return QueryResult{}, false
+		return QueryResult{}, nil, false
 	}
 	key := cacheKey{study, epoch, generation, query}
 	c.mu.Lock()
@@ -100,22 +107,24 @@ func (c *QueryCache) Get(study string, epoch, generation uint64, query string) (
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return QueryResult{}, false
+		return QueryResult{}, nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	ent := el.Value.(*cacheEntry)
+	return ent.res, ent.body, true
 }
 
-// Put stores a result under the key, evicting least-recently-used entries
-// while either bound is exceeded. Storing an oversized single result is a
-// no-op rather than a cache flush.
-func (c *QueryCache) Put(study string, epoch, generation uint64, query string, res QueryResult) {
+// Put stores a result (and optionally its serialized JSON body; nil is
+// fine) under the key, evicting least-recently-used entries while either
+// bound is exceeded. Storing an oversized single result is a no-op rather
+// than a cache flush.
+func (c *QueryCache) Put(study string, epoch, generation uint64, query string, res QueryResult, body []byte) {
 	if c == nil {
 		return
 	}
 	key := cacheKey{study, epoch, generation, query}
-	size := resultSize(key, res)
+	size := resultSize(key, res, body)
 	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
@@ -124,10 +133,10 @@ func (c *QueryCache) Put(study string, epoch, generation uint64, query string, r
 	if el, ok := c.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		c.bytes += size - ent.size
-		ent.res, ent.size = res, size
+		ent.res, ent.body, ent.size = res, body, size
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, size: size})
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, body: body, size: size})
 		c.bytes += size
 	}
 	for c.ll.Len() > 0 &&

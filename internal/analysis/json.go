@@ -76,6 +76,17 @@ func (r QueryResult) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// EncodeJSONBody renders the result exactly as the service's JSON writer
+// does — two-space indent plus a trailing newline — so a body cached next to
+// the QueryResult serves byte-identical to a freshly encoded response.
+func (r QueryResult) EncodeJSONBody() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // UnmarshalJSON parses a served query result (the remote-query client path).
 func (r *QueryResult) UnmarshalJSON(b []byte) error {
 	var raw queryResultJSON

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tlsage/internal/analysis"
@@ -72,6 +73,40 @@ type Study struct {
 	queryCache *analysis.QueryCache
 	cacheID    string
 	cacheEpoch uint64
+
+	// flightMu/flights singleflight concurrent misses for the same cache
+	// key: the first caller computes, later arrivals wait on done and share
+	// the published result, so a thundering dashboard compiles each query
+	// once per generation instead of once per client. Only cache-backed
+	// queries fly — without a cache there is no canonical key to rendezvous
+	// on.
+	flightMu sync.Mutex
+	flights  map[flightKey]*queryFlight
+	// compiles counts actual compile+evaluate computations (cache hits and
+	// flight followers excluded); tests pin singleflight against it.
+	compiles atomic.Uint64
+	// testComputeHook, when non-nil (set by tests before any queries), runs
+	// at the start of every leader computation.
+	testComputeHook func()
+}
+
+// flightKey coordinates one in-flight computation; it mirrors the cache key
+// minus the study id (flights are per Study already).
+type flightKey struct {
+	epoch      uint64
+	generation uint64
+	query      string
+}
+
+// queryFlight is one in-progress query computation. done closes only after
+// res/body/gen/err are published, so waiters read them without locks.
+type queryFlight struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	res     analysis.QueryResult
+	body    []byte
+	gen     uint64
+	err     error
 }
 
 // SetQueryCache attaches a (possibly shared) query result cache, with id
@@ -333,9 +368,17 @@ func (s *Study) Query(src string) (analysis.QueryResult, error) {
 // and whether it was served from the attached result cache — the service
 // layer stamps both onto response headers.
 func (s *Study) QueryInfo(src string) (analysis.QueryResult, uint64, bool, error) {
+	res, _, gen, hit, err := s.QueryInfoJSON(src)
+	return res, gen, hit, err
+}
+
+// QueryInfoJSON is QueryInfo plus the serialized JSON response body when the
+// attached result cache holds one (nil otherwise) — the service writes it to
+// the wire directly, so a hit skips json.Marshal as well as evaluation.
+func (s *Study) QueryInfoJSON(src string) (analysis.QueryResult, []byte, uint64, bool, error) {
 	e, err := analysis.ParseQuery(src)
 	if err != nil {
-		return analysis.QueryResult{}, 0, false, err
+		return analysis.QueryResult{}, nil, 0, false, err
 	}
 	return s.queryValidated(e)
 }
@@ -353,8 +396,15 @@ func (s *Study) QueryExpr(e *analysis.Expr) (analysis.QueryResult, error) {
 // guaranteed to be canonical (a malformed column name could otherwise
 // impersonate another query's key).
 func (s *Study) QueryExprInfo(e *analysis.Expr) (analysis.QueryResult, uint64, bool, error) {
+	res, _, gen, hit, err := s.QueryExprInfoJSON(e)
+	return res, gen, hit, err
+}
+
+// QueryExprInfoJSON is QueryExprInfo plus the cached serialized JSON body
+// (see QueryInfoJSON).
+func (s *Study) QueryExprInfoJSON(e *analysis.Expr) (analysis.QueryResult, []byte, uint64, bool, error) {
 	if err := e.Validate(); err != nil {
-		return analysis.QueryResult{}, 0, false, err
+		return analysis.QueryResult{}, nil, 0, false, err
 	}
 	return s.queryValidated(e)
 }
@@ -387,34 +437,74 @@ func (s *Study) frameWithEpoch() (*analysis.Frame, uint64, error) {
 // queryValidated serves a validated expression: from the result cache when
 // an entry exists for the study's current (epoch, generation) — without
 // touching the frame — and otherwise by compiling a plan against the
-// current frame, evaluating it, and caching the result under coordinates
-// read atomically with that frame. A nil cache degrades to plain
-// compile-and-evaluate.
-func (s *Study) queryValidated(e *analysis.Expr) (analysis.QueryResult, uint64, bool, error) {
+// current frame, evaluating it, and caching the result (with its serialized
+// body) under coordinates read atomically with that frame. Concurrent
+// misses for the same key join one in-flight computation instead of each
+// compiling. A nil cache degrades to plain compile-and-evaluate.
+func (s *Study) queryValidated(e *analysis.Expr) (analysis.QueryResult, []byte, uint64, bool, error) {
 	cache, id, epoch, gen, err := s.cacheCoords()
 	if err != nil {
-		return analysis.QueryResult{}, 0, false, err
+		return analysis.QueryResult{}, nil, 0, false, err
 	}
-	var key string
-	if cache != nil {
-		key = e.String()
-		if res, hit := cache.Get(id, epoch, gen, key); hit {
-			return res, gen, true, nil
-		}
+	if cache == nil {
+		res, body, gen, err := s.computeQuery(e, nil, "", "")
+		return res, body, gen, false, err
+	}
+	key := e.String()
+	if res, body, hit := cache.Get(id, epoch, gen, key); hit {
+		return res, body, gen, true, nil
+	}
+	fk := flightKey{epoch, gen, key}
+	s.flightMu.Lock()
+	if f, ok := s.flights[fk]; ok {
+		f.waiters.Add(1)
+		s.flightMu.Unlock()
+		<-f.done
+		// A follower's answer came from shared work, so it reports as a
+		// cache hit: the query was compiled once for the whole flight.
+		return f.res, f.body, f.gen, f.err == nil, f.err
+	}
+	f := &queryFlight{done: make(chan struct{})}
+	if s.flights == nil {
+		s.flights = make(map[flightKey]*queryFlight)
+	}
+	s.flights[fk] = f
+	s.flightMu.Unlock()
+	f.res, f.body, f.gen, f.err = s.computeQuery(e, cache, id, key)
+	// Unregister before waking waiters, so a failed flight cannot capture
+	// callers that arrive after its error is already decided.
+	s.flightMu.Lock()
+	delete(s.flights, fk)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.res, f.body, f.gen, false, f.err
+}
+
+// computeQuery compiles and evaluates e against the current frame. With a
+// cache attached it also serializes the response body and stores both under
+// the frame's coordinates.
+func (s *Study) computeQuery(e *analysis.Expr, cache *analysis.QueryCache, id, key string) (analysis.QueryResult, []byte, uint64, error) {
+	if hook := s.testComputeHook; hook != nil {
+		hook()
 	}
 	f, epoch, err := s.frameWithEpoch()
 	if err != nil {
-		return analysis.QueryResult{}, 0, false, err
+		return analysis.QueryResult{}, nil, 0, err
 	}
 	p, err := analysis.Compile(e, f)
 	if err != nil {
-		return analysis.QueryResult{}, 0, false, err
+		return analysis.QueryResult{}, nil, 0, err
 	}
+	s.compiles.Add(1)
 	res := p.Eval()
+	var body []byte
 	if cache != nil {
-		cache.Put(id, epoch, f.Generation(), key, res)
+		// A marshal failure only costs this entry the serialized-body fast
+		// path; the result itself still caches and serves.
+		body, _ = res.EncodeJSONBody()
+		cache.Put(id, epoch, f.Generation(), key, res, body)
 	}
-	return res, f.Generation(), false, nil
+	return res, body, f.Generation(), nil
 }
 
 // Scalars returns the passive and fingerprint scalar findings. Both halves

@@ -1,0 +1,427 @@
+package notary
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"tlsage/internal/registry"
+)
+
+// Batch codec: a length-prefixed binary frame carrying a batch of Records —
+// the wire counterpart of the snapshot codec's on-disk framing, and the
+// binary sibling of the TSV log line. A producer packs records into frames
+// (EncodeBatch/AppendBatch/BatchWriter); a consumer streams frames back into
+// a Sink (ReadBatches). TSV stays the debug/interop path; this format exists
+// so ingest cost scales with batch count instead of per-line parsing.
+//
+// Frame layout:
+//
+//	offset  size  field
+//	0       4     magic "TLSB"
+//	4       1     version byte (BatchVersion)
+//	5       4     payload length, uint32 little-endian
+//	9       N     payload (record count + packed records, see below)
+//	9+N     4     CRC32-IEEE of the payload, little-endian
+//
+// The payload is an unsigned varint record count followed by that many
+// packed records. Per record:
+//
+//	flags byte (bit0 established, bit1 offers_hb, bit2 hb_ack,
+//	            bit3 suite_unoffered, bit4 fallback, bit5 sslv2;
+//	            high bits must be zero)
+//	date (uvarint year, month, day)
+//	client_version, version, suite, curve (uvarints, uint16-bounded)
+//	alert byte
+//	client_suites, client_exts, client_curves, client_pfs, client_svs
+//	            (uvarint count + uvarint elements, bounds-checked)
+//	fp, truth, cohort (uvarint length + raw bytes)
+//
+// A stream is any number of frames back to back; EOF at a frame boundary
+// ends it cleanly, EOF anywhere else is an error. Decoding is defensive the
+// same way the snapshot codec is: every length is bounds-checked against the
+// bytes actually present (fuzzed by FuzzReadBatches).
+
+// batchMagic brands batch frames. It differs from the snapshot magic in its
+// first bytes read off the wire, which is what lets the TCP listener sniff
+// binary streams apart from TSV (no TSV log starts with "TLSB": headers
+// start with '#', record lines with a decimal year).
+const batchMagic = "TLSB"
+
+// BatchVersion is the batch wire-format version byte. Readers reject other
+// versions, so the format can evolve without silent misdecodes.
+const BatchVersion = 1
+
+// batchHeaderLen is magic + version + payload length.
+const batchHeaderLen = len(batchMagic) + 1 + 4
+
+// maxBatchPayload caps the payload length a reader will believe. Frames are
+// producer-sized (a few hundred records, tens of KiB); a corrupt length
+// field must not drive a huge allocation.
+const maxBatchPayload = 1 << 26
+
+// DefaultBatchSize is the records-per-frame used by producers that don't
+// choose one. Big enough to amortize framing and syscalls, small enough to
+// keep frames well under a megabyte.
+const DefaultBatchSize = 512
+
+// IsBatchStream reports whether prefix (the first bytes of a stream, at
+// least 4 to be conclusive) begins with the batch frame magic. The TCP
+// listener peeks ahead with this to route one port between binary batches
+// and TSV lines.
+func IsBatchStream(prefix []byte) bool {
+	return len(prefix) >= len(batchMagic) && string(prefix[:len(batchMagic)]) == batchMagic
+}
+
+// BatchError tags a malformed batch frame with its 0-based index in the
+// stream. Like LineError for TSV, it separates input the producer must fix
+// from internal sink failures — the live service maps it to a 4xx response.
+type BatchError struct {
+	Frame int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("notary: batch frame %d: %v", e.Frame, e.Err) }
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// --- encoding ---
+
+// Record flag bits in the batch encoding.
+const (
+	batchEstablished = 1 << iota
+	batchOffersHB
+	batchHBAck
+	batchSuiteUnoffer
+	batchFallback
+	batchSSLv2
+
+	batchFlagMask = batchSSLv2<<1 - 1
+)
+
+// AppendBatch appends one complete framed batch of recs to dst and returns
+// the extended slice. The payload must stay under maxBatchPayload (64 MiB)
+// or readers will reject the frame — keep batches producer-sized
+// (DefaultBatchSize records is ~100 KiB).
+func AppendBatch(dst []byte, recs []*Record) []byte {
+	dst = append(dst, batchMagic...)
+	dst = append(dst, BatchVersion)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length backfilled below
+	payloadAt := len(dst)
+	dst = appendCount(dst, len(recs))
+	for _, r := range recs {
+		dst = appendRecordBinary(dst, r)
+	}
+	payload := dst[payloadAt:]
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// EncodeBatch returns one framed batch of recs.
+func EncodeBatch(recs []*Record) []byte { return AppendBatch(nil, recs) }
+
+func recordFlags(r *Record) byte {
+	var b byte
+	if r.Established {
+		b |= batchEstablished
+	}
+	if r.OffersHeartbeat {
+		b |= batchOffersHB
+	}
+	if r.HeartbeatAck {
+		b |= batchHBAck
+	}
+	if r.SuiteUnoffer {
+		b |= batchSuiteUnoffer
+	}
+	if r.UsedFallback {
+		b |= batchFallback
+	}
+	if r.SSLv2Hello {
+		b |= batchSSLv2
+	}
+	return b
+}
+
+func appendRecordBinary(dst []byte, r *Record) []byte {
+	dst = append(dst, recordFlags(r))
+	dst = appendDateEnc(dst, r.Date)
+	dst = appendUvarint(dst, uint64(r.ClientVersion))
+	dst = appendUvarint(dst, uint64(r.Version))
+	dst = appendUvarint(dst, uint64(r.Suite))
+	dst = appendUvarint(dst, uint64(r.Curve))
+	dst = append(dst, r.AlertDesc)
+	dst = appendCodeList(dst, r.ClientSuites)
+	dst = appendCodeList(dst, r.ClientExtensions)
+	dst = appendCodeList(dst, r.ClientCurves)
+	dst = appendCodeList(dst, r.ClientPointFmts)
+	dst = appendCodeList(dst, r.ClientSupportedVs)
+	dst = appendString(dst, r.Fingerprint)
+	dst = appendString(dst, r.TruthClient)
+	return appendString(dst, r.ServerCohort)
+}
+
+func appendCodeList[T ~uint8 | ~uint16](dst []byte, vals []T) []byte {
+	dst = appendCount(dst, len(vals))
+	for _, v := range vals {
+		dst = appendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// BatchWriter packs records into framed batches. It implements Sink: Observe
+// buffers one encoded record, emitting a frame every batchSize records;
+// Close flushes the partial frame. The encode buffers are reused across
+// frames, so steady-state writing allocates nothing — the binary counterpart
+// of LogWriter.
+type BatchWriter struct {
+	w      io.Writer
+	every  int
+	recs   []byte // packed records of the frame being built
+	count  int    // records in recs
+	frame  []byte // reused frame assembly buffer
+	frames int64
+	n      int64
+}
+
+// NewBatchWriter wraps w. batchSize <= 0 uses DefaultBatchSize.
+func NewBatchWriter(w io.Writer, batchSize int) *BatchWriter {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &BatchWriter{w: w, every: batchSize}
+}
+
+// Observe implements Sink.
+func (bw *BatchWriter) Observe(r *Record) error {
+	bw.recs = appendRecordBinary(bw.recs, r)
+	bw.count++
+	bw.n++
+	if bw.count >= bw.every {
+		return bw.flushFrame()
+	}
+	return nil
+}
+
+// Close implements Sink by flushing any partial frame.
+func (bw *BatchWriter) Close() error {
+	if bw.count == 0 {
+		return nil
+	}
+	return bw.flushFrame()
+}
+
+// Count reports how many records have been written.
+func (bw *BatchWriter) Count() int64 { return bw.n }
+
+// Frames reports how many frames have been emitted.
+func (bw *BatchWriter) Frames() int64 { return bw.frames }
+
+func (bw *BatchWriter) flushFrame() error {
+	dst := append(bw.frame[:0], batchMagic...)
+	dst = append(dst, BatchVersion)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	payloadAt := len(dst)
+	dst = appendCount(dst, bw.count)
+	dst = append(dst, bw.recs...)
+	payload := dst[payloadAt:]
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	bw.frame = dst
+	bw.recs = bw.recs[:0]
+	bw.count = 0
+	if _, err := bw.w.Write(dst); err != nil {
+		return err
+	}
+	bw.frames++
+	return nil
+}
+
+// --- decoding ---
+
+// minRecordEncodedLen bounds how small one packed record can be: flags,
+// three date varints, four code-point varints, the alert byte, five list
+// counts and three string lengths — 17 bytes. Used to sanity-bound the
+// record count against the payload size before decoding.
+const minRecordEncodedLen = 17
+
+// maxInternEntries caps the decoder's string intern table. Real streams
+// carry a few hundred distinct fingerprint/profile/cohort strings; past the
+// cap new strings just allocate instead of interning.
+const maxInternEntries = 1 << 16
+
+// internTable dedupes the record strings of a stream. Fingerprints, truth
+// labels and cohorts repeat across virtually every record, so interning
+// makes steady-state binary decode allocation-free where TSV pays at least
+// one line allocation per record.
+type internTable map[string]string
+
+// str reads one length-prefixed string from d, returning a previously
+// interned copy when the bytes were seen before. The map lookup keyed by
+// string(b) does not allocate (the compiler elides the conversion).
+func (in internTable) str(d *snapDecoder) string {
+	n := d.length(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	if s, ok := in[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in) < maxInternEntries {
+		in[s] = s
+	}
+	return s
+}
+
+func decodeCodeList[T ~uint8 | ~uint16](d *snapDecoder, dst []T, max uint64) []T {
+	n := d.length(1)
+	dst = dst[:0]
+	for i := 0; i < n && d.err == nil; i++ {
+		v := d.uvarint()
+		if v > max {
+			d.fail("list element %d out of range", v)
+			return dst
+		}
+		dst = append(dst, T(v))
+	}
+	return dst
+}
+
+// decodeRecordBinary decodes one packed record into r, reusing r's slice
+// capacity and interning strings through in.
+func decodeRecordBinary(d *snapDecoder, r *Record, in internTable) {
+	r.Reset()
+	flags := d.byte()
+	if d.err == nil && flags&^byte(batchFlagMask) != 0 {
+		d.fail("unknown record flag bits %#x", flags)
+		return
+	}
+	r.Established = flags&batchEstablished != 0
+	r.OffersHeartbeat = flags&batchOffersHB != 0
+	r.HeartbeatAck = flags&batchHBAck != 0
+	r.SuiteUnoffer = flags&batchSuiteUnoffer != 0
+	r.UsedFallback = flags&batchFallback != 0
+	r.SSLv2Hello = flags&batchSSLv2 != 0
+	r.Date = d.date()
+	r.ClientVersion = registry.Version(d.u16())
+	r.Version = registry.Version(d.u16())
+	r.Suite = d.u16()
+	r.Curve = registry.CurveID(d.u16())
+	r.AlertDesc = d.byte()
+	r.ClientSuites = decodeCodeList(d, r.ClientSuites, math.MaxUint16)
+	r.ClientExtensions = decodeCodeList(d, r.ClientExtensions, math.MaxUint16)
+	r.ClientCurves = decodeCodeList(d, r.ClientCurves, math.MaxUint16)
+	r.ClientPointFmts = decodeCodeList(d, r.ClientPointFmts, math.MaxUint8)
+	r.ClientSupportedVs = decodeCodeList(d, r.ClientSupportedVs, math.MaxUint16)
+	r.Fingerprint = in.str(d)
+	r.TruthClient = in.str(d)
+	r.ServerCohort = in.str(d)
+}
+
+// ReadBatches streams framed batches from r, delivering each record to sink.
+// EOF at a frame boundary (including an empty stream) ends the stream
+// cleanly; a truncated, corrupted or version-mismatched frame surfaces as
+// *BatchError and stops the stream, like ReadLog's *LineError. Records are
+// decoded into a reused buffer, so the Sink contract applies: the record is
+// only valid for the duration of Observe. The sink is not closed. It
+// returns how many frames and records were delivered.
+func ReadBatches(r io.Reader, sink Sink) (frames, records uint64, err error) {
+	var hdr [9]byte // batchHeaderLen
+	var body []byte
+	var rec Record
+	intern := make(internTable)
+	for frame := 0; ; frame++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return frames, records, nil
+			}
+			return frames, records, &BatchError{Frame: frame, Err: fmt.Errorf("frame header: %w", err)}
+		}
+		if string(hdr[:4]) != batchMagic {
+			return frames, records, &BatchError{Frame: frame, Err: fmt.Errorf("bad magic %q", hdr[:4])}
+		}
+		if hdr[4] != BatchVersion {
+			return frames, records, &BatchError{Frame: frame,
+				Err: fmt.Errorf("version %d, this build reads %d", hdr[4], BatchVersion)}
+		}
+		n := binary.LittleEndian.Uint32(hdr[5:])
+		if n > maxBatchPayload {
+			return frames, records, &BatchError{Frame: frame, Err: fmt.Errorf("implausible payload length %d", n)}
+		}
+		// LimitReader + ReadAll grows with the bytes actually present, so a
+		// corrupt length over a short stream fails without a huge up-front
+		// allocation. body is reused across frames.
+		body, err = readFullReuse(r, body, int(n)+4)
+		if err != nil {
+			return frames, records, &BatchError{Frame: frame, Err: err}
+		}
+		payload, trailer := body[:n], body[n:]
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(trailer); got != want {
+			return frames, records, &BatchError{Frame: frame,
+				Err: fmt.Errorf("checksum mismatch (%08x, want %08x)", got, want)}
+		}
+		d := &snapDecoder{b: payload, what: "batch"}
+		count := d.length(minRecordEncodedLen)
+		for i := 0; i < count && d.err == nil; i++ {
+			decodeRecordBinary(d, &rec, intern)
+			if d.err != nil {
+				break
+			}
+			if err := sink.Observe(&rec); err != nil {
+				return frames, records, err
+			}
+			records++
+		}
+		if d.err == nil && d.remaining() != 0 {
+			d.fail("%d trailing bytes", d.remaining())
+		}
+		if d.err != nil {
+			return frames, records, &BatchError{Frame: frame, Err: d.err}
+		}
+		frames++
+	}
+}
+
+// readFullReuse reads exactly want bytes into buf[:0] (growing in bounded
+// chunks, so a corrupt length never allocates more than the stream holds)
+// and returns the filled buffer.
+func readFullReuse(r io.Reader, buf []byte, want int) ([]byte, error) {
+	buf = buf[:0]
+	const chunk = 1 << 20
+	for len(buf) < want {
+		step := want - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		at := len(buf)
+		if cap(buf) < at+step {
+			grown := make([]byte, at, at+step)
+			copy(grown, buf)
+			buf = grown
+		}
+		buf = buf[:at+step]
+		if _, err := io.ReadFull(r, buf[at:]); err != nil {
+			return buf, fmt.Errorf("truncated frame: %d of %d payload+trailer bytes: %w", at, want, err)
+		}
+	}
+	return buf, nil
+}
+
+// SniffReader wraps r in a buffered reader whose first bytes have been
+// peeked, reporting whether the stream starts with a batch frame. The
+// returned reader replays the stream from the beginning. Short or empty
+// streams are reported as not-binary and left for the TSV reader to
+// diagnose.
+func SniffReader(r io.Reader) (*bufio.Reader, bool) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	prefix, _ := br.Peek(len(batchMagic))
+	return br, IsBatchStream(prefix)
+}

@@ -1,0 +1,388 @@
+package notary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tlsage/internal/registry"
+)
+
+// randomBatchRecord widens randomRecord to exercise every field the batch
+// codec carries: curves, point formats, alerts, fallback, truth labels and
+// cohorts all get populated some of the time.
+func randomBatchRecord(rnd *rand.Rand, all []registry.Suite) *Record {
+	r := randomRecord(rnd, all)
+	if rnd.Intn(3) == 0 {
+		r.ClientCurves = []registry.CurveID{registry.CurveSecp256r1, registry.CurveID(rnd.Intn(30))}
+		r.ClientPointFmts = []registry.ECPointFormat{0}
+	}
+	if !r.Established && rnd.Intn(2) == 0 {
+		r.AlertDesc = uint8(rnd.Intn(120))
+	}
+	if rnd.Intn(5) == 0 {
+		r.UsedFallback = true
+	}
+	if rnd.Intn(3) == 0 {
+		r.TruthClient = fmt.Sprintf("profile-%d", rnd.Intn(6))
+	}
+	if rnd.Intn(3) == 0 {
+		r.ServerCohort = fmt.Sprintf("cohort-%d", rnd.Intn(3))
+	}
+	return r
+}
+
+func buildBatchRecords(seed int64, n int) []*Record {
+	rnd := rand.New(rand.NewSource(seed))
+	all := registry.AllSuites()
+	recs := make([]*Record, n)
+	for i := range recs {
+		recs[i] = randomBatchRecord(rnd, all)
+	}
+	return recs
+}
+
+// collectSink clones every record it sees (ReadBatches reuses one buffer).
+type collectSink struct{ recs []*Record }
+
+func (c *collectSink) Observe(r *Record) error { c.recs = append(c.recs, r.Clone()); return nil }
+func (c *collectSink) Close() error            { return nil }
+
+func nullSink() Sink { return SinkFunc(func(*Record) error { return nil }) }
+
+// TestBatchRoundTrip is the codec's core property: reading back an encoded
+// batch yields records field-for-field equal to the originals (compared
+// through Clone, which normalizes empty-vs-nil slices), and an Aggregate
+// built from the decoded stream deep-equals one built from the originals.
+func TestBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 500, 3000} {
+		recs := buildBatchRecords(int64(n)+1, n)
+		enc := EncodeBatch(recs)
+
+		var got collectSink
+		frames, records, err := ReadBatches(bytes.NewReader(enc), &got)
+		if err != nil {
+			t.Fatalf("n=%d: ReadBatches: %v", n, err)
+		}
+		if frames != 1 || records != uint64(n) {
+			t.Fatalf("n=%d: got %d frames / %d records", n, frames, records)
+		}
+		if len(got.recs) != n {
+			t.Fatalf("n=%d: sink saw %d records", n, len(got.recs))
+		}
+		for i, r := range recs {
+			if want, have := r.Clone(), got.recs[i]; !reflect.DeepEqual(want, have) {
+				t.Fatalf("n=%d: record %d mismatch:\n want %+v\n have %+v", n, i, want, have)
+			}
+		}
+
+		want, have := NewAggregate(), NewAggregate()
+		for _, r := range recs {
+			want.Add(r)
+		}
+		for _, r := range got.recs {
+			have.Add(r)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("n=%d: aggregates diverge after round trip", n)
+		}
+	}
+}
+
+// TestBatchWriterFraming drives records through the Sink-facing producer and
+// checks frame accounting plus a multi-frame round trip (batch size not
+// dividing the record count, so the Close-flushed partial frame is covered).
+func TestBatchWriterFraming(t *testing.T) {
+	recs := buildBatchRecords(99, 100)
+	var buf bytes.Buffer
+	bw := NewBatchWriter(&buf, 7)
+	for _, r := range recs {
+		if err := bw.Observe(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bw.Count() != 100 || bw.Frames() != 15 { // ceil(100/7)
+		t.Fatalf("writer reports %d records in %d frames", bw.Count(), bw.Frames())
+	}
+
+	var got collectSink
+	frames, records, err := ReadBatches(&buf, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames != 15 || records != 100 {
+		t.Fatalf("reader saw %d frames / %d records", frames, records)
+	}
+	for i, r := range recs {
+		if !reflect.DeepEqual(r.Clone(), got.recs[i]) {
+			t.Fatalf("record %d mismatch across writer framing", i)
+		}
+	}
+}
+
+// TestBatchTruncation cuts a two-frame stream at every byte offset. The
+// empty prefix and the exact frame boundary are clean stream ends (that is
+// the streaming contract); every other cut must error.
+func TestBatchTruncation(t *testing.T) {
+	recs := buildBatchRecords(3, 40)
+	first := EncodeBatch(recs[:25])
+	enc := AppendBatch(append([]byte(nil), first...), recs[25:])
+	for n := 1; n < len(enc); n++ {
+		frames, _, err := ReadBatches(bytes.NewReader(enc[:n]), nullSink())
+		if n == len(first) {
+			if err != nil || frames != 1 {
+				t.Fatalf("cut at frame boundary: frames=%d err=%v", frames, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes read without error", n, len(enc))
+		}
+	}
+	if _, _, err := ReadBatches(bytes.NewReader(nil), nullSink()); err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if frames, records, err := ReadBatches(bytes.NewReader(enc), nullSink()); err != nil || frames != 2 || records != 40 {
+		t.Fatalf("full stream: frames=%d records=%d err=%v", frames, records, err)
+	}
+}
+
+// TestBatchCorruption flips one byte at every offset of a valid frame. The
+// magic, version and length checks catch the header; CRC32 catches the
+// payload and trailer.
+func TestBatchCorruption(t *testing.T) {
+	enc := EncodeBatch(buildBatchRecords(5, 30))
+	mut := make([]byte, len(enc))
+	for off := range enc {
+		copy(mut, enc)
+		mut[off] ^= 0x5a
+		if _, _, err := ReadBatches(bytes.NewReader(mut), nullSink()); err == nil {
+			t.Fatalf("flipped byte at offset %d of %d read without error", off, len(enc))
+		}
+	}
+}
+
+// reframe wraps payload in a valid header and CRC trailer, so tests can
+// exercise payload-level rejections that checksum verification would
+// otherwise mask.
+func reframe(payload []byte) []byte {
+	dst := append([]byte(batchMagic), BatchVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// TestBatchRejectsMalformedPayloads covers short frames and structurally
+// invalid payloads that arrive with a *valid* checksum: over-claimed record
+// counts, unknown flag bits, trailing payload bytes, bad months.
+func TestBatchRejectsMalformedPayloads(t *testing.T) {
+	one := buildBatchRecords(11, 1)
+	rec := appendRecordBinary(nil, one[0])
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"count exceeds payload", appendCount(nil, 50)},
+		{"count over records present", append(appendCount(nil, 2), rec...)},
+		{"trailing payload bytes", append(append(appendCount(nil, 1), rec...), 0xff)},
+		{"unknown flag bits", func() []byte {
+			p := append(appendCount(nil, 1), rec...)
+			p[1] |= 0x80 // first record's flags byte
+			return p
+		}()},
+		{"empty payload", nil},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadBatches(bytes.NewReader(reframe(tc.payload)), nullSink()); err == nil {
+			t.Errorf("%s: read without error", tc.name)
+		}
+	}
+}
+
+// TestBatchRejectsHeader covers version and magic rejection plus trailing
+// garbage after a clean frame.
+func TestBatchRejectsHeader(t *testing.T) {
+	enc := EncodeBatch(buildBatchRecords(21, 5))
+
+	wrongVersion := append([]byte(nil), enc...)
+	wrongVersion[4] = BatchVersion + 1
+	if _, _, err := ReadBatches(bytes.NewReader(wrongVersion), nullSink()); err == nil {
+		t.Error("future version read without error")
+	}
+
+	if _, _, err := ReadBatches(bytes.NewReader([]byte("TLSN\x01garbagegarbage")), nullSink()); err == nil {
+		t.Error("snapshot magic read as batch without error")
+	}
+
+	garbage := append(append([]byte(nil), enc...), "not a frame"...)
+	if frames, _, err := ReadBatches(bytes.NewReader(garbage), nullSink()); err == nil {
+		t.Errorf("trailing garbage read without error (%d frames)", frames)
+	}
+
+	huge := append([]byte(batchMagic), BatchVersion)
+	huge = binary.LittleEndian.AppendUint32(huge, maxBatchPayload+1)
+	if _, _, err := ReadBatches(bytes.NewReader(huge), nullSink()); err == nil {
+		t.Error("implausible payload length read without error")
+	}
+}
+
+// TestBatchErrorsAreBatchErrors pins the error taxonomy the service depends
+// on: malformed frames surface as *BatchError (mapped to 4xx), sink errors
+// pass through untouched (mapped to 5xx).
+func TestBatchErrorsAreBatchErrors(t *testing.T) {
+	enc := EncodeBatch(buildBatchRecords(31, 10))
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)-1] ^= 1
+	var be *BatchError
+	_, _, err := ReadBatches(bytes.NewReader(mut), nullSink())
+	if !errors.As(err, &be) || be.Frame != 0 {
+		t.Fatalf("corrupt frame error = %v, want *BatchError frame 0", err)
+	}
+
+	sinkErr := fmt.Errorf("sink exploded")
+	_, _, err = ReadBatches(bytes.NewReader(enc), SinkFunc(func(*Record) error { return sinkErr }))
+	if err != sinkErr {
+		t.Fatalf("sink error = %v, want passthrough", err)
+	}
+}
+
+// TestIsBatchStream pins the sniffing contract ServeTCP relies on.
+func TestIsBatchStream(t *testing.T) {
+	if !IsBatchStream([]byte("TLSB\x01anything")) {
+		t.Error("batch prefix not recognized")
+	}
+	for _, s := range []string{"", "T", "TLS", "TLSN", "#separator \\t", "2016-01-02\tT"} {
+		if IsBatchStream([]byte(s)) {
+			t.Errorf("%q misrecognized as batch stream", s)
+		}
+	}
+}
+
+// FuzzReadBatches asserts the decoder is panic-free on arbitrary bytes and
+// that whatever it accepts re-encodes and re-decodes to the same records
+// (decode∘encode retraction).
+func FuzzReadBatches(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(batchMagic))
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch(buildBatchRecords(1, 3)))
+	f.Add(AppendBatch(EncodeBatch(buildBatchRecords(2, 20)), buildBatchRecords(3, 4)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got collectSink
+		if _, _, err := ReadBatches(bytes.NewReader(data), &got); err != nil {
+			return
+		}
+		re := EncodeBatch(got.recs)
+		var again collectSink
+		if _, _, err := ReadBatches(bytes.NewReader(re), &again); err != nil {
+			t.Fatalf("re-encoded accepted stream failed to decode: %v", err)
+		}
+		if len(again.recs) != len(got.recs) {
+			t.Fatalf("re-decode yielded %d records, want %d", len(again.recs), len(got.recs))
+		}
+		for i := range got.recs {
+			if !reflect.DeepEqual(got.recs[i], again.recs[i]) {
+				t.Fatalf("record %d changed across re-encode", i)
+			}
+		}
+	})
+}
+
+// --- ingest framing benchmarks ---
+//
+// BenchmarkIngestTSV vs BenchmarkIngestBinary compare the two wire framings
+// end to end (serialized bytes → Sink), reporting records/s and
+// allocs/record so the CI benchstat diff tracks the ratio. The sink is a
+// trivial counter: the point is the framing cost, not aggregation.
+
+func benchSink(n *int) Sink {
+	return SinkFunc(func(*Record) error { *n++; return nil })
+}
+
+const benchIngestRecords = 5000
+
+// benchIngestRecordSet models real traffic: a bounded population of distinct
+// client configurations (so fingerprints, truth labels and cohorts repeat,
+// as the paper's fingerprint analysis depends on) emitting many records.
+func benchIngestRecordSet() []*Record {
+	base := buildBatchRecords(77, 200)
+	rnd := rand.New(rand.NewSource(7))
+	recs := make([]*Record, benchIngestRecords)
+	for i := range recs {
+		r := base[rnd.Intn(len(base))].Clone()
+		r.Date.Day = 1 + rnd.Intn(28)
+		recs[i] = r
+	}
+	return recs
+}
+
+func BenchmarkIngestTSV(b *testing.B) {
+	recs := benchIngestRecordSet()
+	var buf bytes.Buffer
+	lw := NewLogWriter(&buf)
+	for _, r := range recs {
+		if err := lw.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, buf.Bytes(), func(r *bytes.Reader, sink Sink) error {
+		return ReadLog(r, sink)
+	})
+}
+
+func BenchmarkIngestBinary(b *testing.B) {
+	recs := benchIngestRecordSet()
+	var buf bytes.Buffer
+	bw := NewBatchWriter(&buf, DefaultBatchSize)
+	for _, r := range recs {
+		if err := bw.Observe(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, buf.Bytes(), func(r *bytes.Reader, sink Sink) error {
+		_, _, err := ReadBatches(r, sink)
+		return err
+	})
+}
+
+func benchIngest(b *testing.B, data []byte, read func(*bytes.Reader, Sink) error) {
+	seen := 0
+	sink := benchSink(&seen)
+	rd := bytes.NewReader(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(data)
+		if err := read(rd, sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	if seen != b.N*benchIngestRecords {
+		b.Fatalf("sink saw %d records, want %d", seen, b.N*benchIngestRecords)
+	}
+	total := float64(b.N * benchIngestRecords)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/total, "allocs/record")
+}

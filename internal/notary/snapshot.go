@@ -316,11 +316,18 @@ type snapDecoder struct {
 	b   []byte
 	off int
 	err error
+	// what names the payload kind in error messages ("snapshot" when empty).
+	// The batch codec reuses the decoder for its frame payloads.
+	what string
 }
 
 func (d *snapDecoder) fail(format string, args ...any) {
 	if d.err == nil {
-		d.err = fmt.Errorf("notary: snapshot payload: "+format, args...)
+		what := d.what
+		if what == "" {
+			what = "snapshot"
+		}
+		d.err = fmt.Errorf("notary: "+what+" payload: "+format, args...)
 	}
 }
 

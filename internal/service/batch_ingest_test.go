@@ -1,0 +1,366 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/analysis"
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+)
+
+// transcodeBatch re-encodes a TSV log into the binary batch framing with the
+// given records-per-frame — the same transformation `tlstrend feed -binary
+// -in log` applies on the fly.
+func transcodeBatch(t *testing.T, log []byte, batchSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := notary.NewBatchWriter(&buf, batchSize)
+	if err := notary.ReadLog(bytes.NewReader(log), bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// tsvPrefix returns the first n data lines of a TSV log (comments skipped) —
+// a small well-formed stream for saturation tests.
+func tsvPrefix(t *testing.T, log []byte, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	taken := 0
+	for _, l := range bytes.SplitAfter(log, []byte{'\n'}) {
+		if taken == n {
+			return buf.Bytes()
+		}
+		if len(bytes.TrimSpace(l)) == 0 || l[0] == '#' {
+			continue
+		}
+		buf.Write(l)
+		taken++
+	}
+	t.Fatalf("log has fewer than %d records", n)
+	return nil
+}
+
+// TestIngestWireFormatParity is the cross-format acceptance check: the same
+// log fed as binary batches over HTTP, TSV over HTTP, TSV over TCP and
+// binary over TCP must answer /scalars and /query byte-identically — the
+// wire format and transport must never leak into results. Every server runs
+// with a bounded merge queue so the queued-merge path is covered, and every
+// query is asked twice so the cached-body fast path must also match the
+// freshly encoded body.
+func TestIngestWireFormatParity(t *testing.T) {
+	log, offline := sharedLog(t)
+	batch := transcodeBatch(t, log, 53) // odd frame size sweeps frame boundaries
+	wantRecords := offline.Aggregate().TotalRecords()
+	const queryBody = `{"query": "pct(version:tls12 / established)"}`
+
+	postIngest := func(body []byte, contentType string) func(t *testing.T, srv *Server, ts *httptest.Server, tcpAddr string) {
+		return func(t *testing.T, srv *Server, ts *httptest.Server, tcpAddr string) {
+			resp, err := http.Post(ts.URL+"/ingest", contentType, bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fed ingestStats
+			if err := json.NewDecoder(resp.Body).Decode(&fed); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || fed.Records != wantRecords {
+				t.Fatalf("ingest: status %d, %d records, want 200 with %d", resp.StatusCode, fed.Records, wantRecords)
+			}
+		}
+	}
+	dialIngest := func(body []byte) func(t *testing.T, srv *Server, ts *httptest.Server, tcpAddr string) {
+		return func(t *testing.T, srv *Server, ts *httptest.Server, tcpAddr string) {
+			conn, err := net.Dial("tcp", tcpAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(body); err != nil {
+				t.Fatal(err)
+			}
+			if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := io.ReadAll(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("ok %d ", wantRecords); !strings.HasPrefix(string(reply), want) {
+				t.Fatalf("tcp reply %q, want prefix %q", reply, want)
+			}
+		}
+	}
+
+	paths := []struct {
+		name string
+		feed func(t *testing.T, srv *Server, ts *httptest.Server, tcpAddr string)
+	}{
+		{"tsv-http", postIngest(log, ContentTypeTSV)},
+		{"binary-http", postIngest(batch, ContentTypeBatch)},
+		{"tsv-tcp", dialIngest(log)},
+		{"binary-tcp", dialIngest(batch)},
+	}
+
+	var refScalars, refQuery []byte
+	for i, p := range paths {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			srv := NewServer(core.NewLiveStudy(),
+				WithFlushEvery(89+i), // sweep shard boundaries across paths
+				WithQueueBound(32),
+				WithQueryCache(analysis.NewQueryCache(16, 1<<20), "p"))
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			served := make(chan error, 1)
+			go func() { served <- srv.ServeTCP(ln) }()
+
+			p.feed(t, srv, ts, ln.Addr().String())
+
+			scalars := mustGet(t, ts.URL+"/scalars")
+			query := func(wantCache string) []byte {
+				resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(queryBody))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				body, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != wantCache {
+					t.Fatalf("query: status %d X-Cache %q, want 200 %q",
+						resp.StatusCode, resp.Header.Get("X-Cache"), wantCache)
+				}
+				return body
+			}
+			miss := query("miss")
+			hit := query("hit")
+			if !bytes.Equal(miss, hit) {
+				t.Errorf("cached query body diverges from the computed one:\nmiss: %s\nhit:  %s", miss, hit)
+			}
+
+			if refScalars == nil {
+				refScalars, refQuery = scalars, miss
+			} else {
+				if !bytes.Equal(scalars, refScalars) {
+					t.Errorf("/scalars diverges from the %s path", paths[0].name)
+				}
+				if !bytes.Equal(miss, refQuery) {
+					t.Errorf("/query diverges from the %s path", paths[0].name)
+				}
+			}
+
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-served; err != nil {
+				t.Fatalf("ServeTCP: %v", err)
+			}
+		})
+	}
+}
+
+// TestIngestBatchRejection sweeps malformed binary streams through POST
+// /ingest: truncation, bit flips and short frames must answer 400 with a
+// frame-tagged error, keeping every record from the intact frames before the
+// damage — the live collector keeps what it has seen, same as the TSV
+// bad-line semantics.
+func TestIngestBatchRejection(t *testing.T) {
+	log, offline := sharedLog(t)
+	const frameSize = 50
+	batch := transcodeBatch(t, log, frameSize)
+	total := offline.Aggregate().TotalRecords()
+
+	corrupt := func(mut func([]byte) []byte) []byte {
+		b := append([]byte(nil), batch...)
+		return mut(b)
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"truncated", corrupt(func(b []byte) []byte { return b[:len(b)-3] })},
+		{"bit-flip-tail", corrupt(func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b })},
+		{"bit-flip-payload", corrupt(func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })},
+		{"short-frame", batch[:9]}, // a full header whose payload never arrives
+		{"tsv-as-batch", log},      // declared binary, but no frame magic
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := NewServer(core.NewLiveStudy())
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			resp, err := http.Post(ts.URL+"/ingest", ContentTypeBatch, bytes.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var reply struct {
+				Error   string `json:"error"`
+				Records int    `json:"records"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (%s), want 400", resp.StatusCode, reply.Error)
+			}
+			if !strings.Contains(reply.Error, "batch") {
+				t.Errorf("error %q lacks the batch frame tag", reply.Error)
+			}
+			if reply.Records >= total {
+				t.Errorf("%d records applied from a damaged stream of %d", reply.Records, total)
+			}
+			if reply.Records%frameSize != 0 {
+				t.Errorf("%d applied records is not a whole number of %d-record frames", reply.Records, frameSize)
+			}
+			records, _, _, err := srv.Study().Counts()
+			if err != nil || records != reply.Records {
+				t.Errorf("study holds %d records (err %v), reply said %d", records, err, reply.Records)
+			}
+		})
+	}
+}
+
+// TestIngestQueueSaturationSheds pins the bounded-queue backpressure, run
+// under -race in CI: with the merge loop held by the test gate and a
+// capacity-1 queue, a binary stream is part-applied and shed — FeedHTTP must
+// refuse to retry it (a replay would double-count) — while a fresh TSV
+// stream over TCP is cleanly shed with a retryable "busy" line, and /healthz
+// exposes the shed in its queue gauges.
+func TestIngestQueueSaturationSheds(t *testing.T) {
+	log, _ := sharedLog(t)
+	batchA := transcodeBatch(t, tsvPrefix(t, log, 8), 2)
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	releaseGate := func() { gateOnce.Do(func() { close(gate) }) }
+	srv := NewServer(core.NewLiveStudy(),
+		WithFlushEvery(1), // shard per record: the queue fills after 2 records
+		WithQueueBound(1),
+		Option(func(s *Server) { s.queueGate = gate }))
+	t.Cleanup(func() {
+		releaseGate() // Close drains the queue; the loop must not stay gated
+		srv.Close()
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeTCP(ln) }()
+
+	// Stream A (binary over HTTP): the merge loop parks on the gate holding
+	// its first shard, the next fills the queue, and a later flush sheds.
+	// FeedHTTP would normally retry a 429, but this one reports applied
+	// records, so retrying must be refused.
+	var feedRes FeedResult
+	var feedErr error
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		feedRes, feedErr = FeedHTTP(ts.URL,
+			func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(batchA)), nil },
+			FeedOptions{Binary: true, MaxRetries: 3})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queue.shedFull.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream A never hit the saturated queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stream B (TSV over TCP) arrives while the queue is still full: nothing
+	// of it applies, so the server sheds it with the retryable busy line.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(tsvPrefix(t, log, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(reply)); got != fmt.Sprintf("busy %d", DefaultRetryAfter) {
+		t.Fatalf("clean shed replied %q, want busy %d", got, DefaultRetryAfter)
+	}
+
+	// Release the merge loop: stream A's accepted shards fold in, its 429
+	// arrives reporting them, and the feeder fails hard instead of retrying.
+	releaseGate()
+	<-fed
+	if feedErr == nil || !strings.Contains(feedErr.Error(), "not retrying") {
+		t.Fatalf("part-applied shed feed error = %v, want a no-retry refusal", feedErr)
+	}
+	if feedRes.Attempts != 1 {
+		t.Errorf("feeder attempted %d times against a part-applied shed, want 1", feedRes.Attempts)
+	}
+	records, _, _, err := srv.Study().Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records < 1 || records >= 8 {
+		t.Errorf("study holds %d records, want the part-applied prefix (1..7)", records)
+	}
+
+	// /healthz exposes the saturation: both sheds counted, capacity visible.
+	var health struct {
+		Ingest struct {
+			BinaryRecords uint64 `json:"binary_records"`
+			TSVRecords    uint64 `json:"tsv_records"`
+		} `json:"ingest"`
+		Queue struct {
+			Capacity int    `json:"capacity"`
+			Enqueued uint64 `json:"batches_enqueued"`
+			Merged   uint64 `json:"batches_merged"`
+			ShedFull uint64 `json:"shed_full"`
+		} `json:"ingest_queue"`
+	}
+	if err := json.Unmarshal(mustGet(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Queue.Capacity != 1 || health.Queue.ShedFull < 2 {
+		t.Errorf("queue gauges = %+v, want capacity 1 with >= 2 sheds", health.Queue)
+	}
+	if health.Queue.Merged != health.Queue.Enqueued {
+		t.Errorf("queue drained %d of %d accepted shards", health.Queue.Merged, health.Queue.Enqueued)
+	}
+	if health.Ingest.BinaryRecords == 0 || health.Ingest.TSVRecords == 0 {
+		t.Errorf("wire-format gauges = %+v, want both formats counted", health.Ingest)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+}

@@ -16,6 +16,11 @@ import (
 // value never retries — a shed stream (HTTP 429 or a TCP "busy" line) is
 // reported as an error, matching the old one-shot feeder.
 type FeedOptions struct {
+	// Binary declares the stream body uses the batch framing rather than
+	// TSV. FeedHTTP then posts it with the batch Content-Type; FeedTCP needs
+	// no flag (the server sniffs the frame magic) but accepts it for
+	// symmetry.
+	Binary bool
 	// MaxRetries is how many times a shed stream is retried before giving
 	// up. 0 means no retries.
 	MaxRetries int
@@ -108,20 +113,27 @@ func asShed(err error, out *errShed) bool {
 	return false
 }
 
-// FeedHTTP streams a TSV log into a server's POST /ingest endpoint,
-// retrying when the server sheds the stream with 429 (honoring its
-// Retry-After header as the backoff floor). open must return a fresh body
-// for every attempt — a shed stream was never read, but the connection is
-// gone, so the feeder needs to restart it from the top.
+// FeedHTTP streams a record log (TSV, or batch-framed with opts.Binary)
+// into a server's POST /ingest endpoint, retrying when the server sheds the
+// stream with 429 (honoring its Retry-After header as the backoff floor).
+// open must return a fresh body for every attempt — a shed stream was never
+// read, but the connection is gone, so the feeder needs to restart it from
+// the top. A 429 reporting a nonzero record count is NOT retried: the
+// server applied part of the stream before its merge queue filled, and
+// replaying from the top would double-count those records.
 func FeedHTTP(baseURL string, open func() (io.ReadCloser, error), opts FeedOptions) (FeedResult, error) {
 	url := strings.TrimSuffix(baseURL, "/") + "/ingest"
+	contentType := ContentTypeTSV
+	if opts.Binary {
+		contentType = ContentTypeBatch
+	}
 	return feedRetry(opts, func() (FeedResult, error) {
 		var res FeedResult
 		body, err := open()
 		if err != nil {
 			return res, err
 		}
-		resp, err := http.Post(url, "text/tab-separated-values", body)
+		resp, err := http.Post(url, contentType, body)
 		body.Close()
 		if err != nil {
 			return res, err
@@ -131,13 +143,18 @@ func FeedHTTP(baseURL string, open func() (io.ReadCloser, error), opts FeedOptio
 		if err != nil {
 			return res, fmt.Errorf("feed: reading server reply: %w", err)
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			return res, errShed{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
-		}
 		var reply struct {
 			Records    int    `json:"records"`
 			Generation uint64 `json:"generation"`
 			Error      string `json:"error"`
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if json.Unmarshal(raw, &reply) == nil && reply.Records > 0 {
+				return res, fmt.Errorf(
+					"feed: server shed a part-applied stream (%d records merged); not retrying to avoid duplicates",
+					reply.Records)
+			}
+			return res, errShed{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		}
 		if err := json.Unmarshal(raw, &reply); err != nil {
 			// Not a tlstrend serve reply (wrong port, proxy error page, ...):
@@ -153,9 +170,12 @@ func FeedHTTP(baseURL string, open func() (io.ReadCloser, error), opts FeedOptio
 	})
 }
 
-// FeedTCP streams a TSV log over a raw TCP connection, retrying when the
-// server replies with a "busy <seconds>" shed line. open must return a
-// fresh body for every attempt.
+// FeedTCP streams a record log (TSV or batch-framed — the server sniffs the
+// wire format) over a raw TCP connection, retrying when the server replies
+// with a "busy <seconds>" shed line. The server only says "busy" when
+// nothing from the stream was applied; a part-applied shed comes back as
+// "error: ..." and fails hard, so retries never double-count. open must
+// return a fresh body for every attempt.
 func FeedTCP(addr string, open func() (io.ReadCloser, error), opts FeedOptions) (FeedResult, error) {
 	return feedRetry(opts, func() (FeedResult, error) {
 		var res FeedResult

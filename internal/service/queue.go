@@ -1,0 +1,175 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"tlsage/internal/core"
+	"tlsage/internal/notary"
+)
+
+// The bounded merge queue: the flow-control stage between stream readers and
+// the live study. Without it, every connection handler merges its shards
+// inline under the study's write lock — correct, but at heavy traffic the
+// readers all stack up on that lock and the only backpressure is the
+// in-flight stream cap. With a queue, readers parse and enqueue decoded
+// shards; one merge loop owns the study write path; and a full queue sheds
+// the offending stream with 429/busy instead of buffering without bound.
+//
+// Shedding is edge-triggered per shard, so a stream can be part-applied when
+// its later shard finds the queue full. The server subtracts the doomed
+// shard from the reported record count and the feed clients refuse to
+// blind-retry a stream the server partially applied (see FeedHTTP/FeedTCP).
+
+// DefaultQueueBound is the merge-queue capacity `tlstrend serve` uses unless
+// -queue-bound says otherwise: at the default flush cadence it holds roughly
+// a million records of parsed-but-unmerged backlog.
+const DefaultQueueBound = 256
+
+// errIngestBusy marks a stream shed because the bounded merge queue was
+// saturated; the HTTP handler maps it to 429 + Retry-After and the TCP
+// handler to a "busy" (or partial-stream "error:") status line.
+var errIngestBusy = errors.New("service: ingest merge queue saturated")
+
+// queuedShard is one parsed shard awaiting merge, tagged with the stream
+// that produced it so completion (and any merge error) reaches the right
+// handler.
+type queuedShard struct {
+	shard *notary.Aggregate
+	st    *queueStream
+}
+
+// queueStream tracks one ingest stream's shards through the queue, so its
+// handler can wait for everything it enqueued to merge before replying —
+// the reply's record count and generation then mean the same thing they do
+// on the inline-merge path.
+type queueStream struct {
+	wg       sync.WaitGroup
+	enqueued int // shards handed to the queue (reader goroutine only)
+	mu       sync.Mutex
+	err      error
+}
+
+func (st *queueStream) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+// wait blocks until every shard the stream enqueued has merged and returns
+// the first merge error, if any.
+func (st *queueStream) wait() error {
+	st.wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// mergeQueue is the bounded channel between connection readers and the
+// single shard-merge loop.
+type mergeQueue struct {
+	study *core.Study
+	ch    chan queuedShard
+	wg    sync.WaitGroup
+	// onMerge, when set, runs after every successful merge — the durability
+	// checkpoint hook, same contract as shardIngester.onFlush.
+	onMerge func()
+	// gate, when non-nil (tests only), is received from before each merge so
+	// saturation tests can hold the loop deterministically.
+	gate chan struct{}
+
+	// closeMu serializes enqueue against close: handlers not tracked by
+	// connWG (HTTP) may race Server.Close, and sending on a closed channel
+	// would panic where "shed" is the correct answer.
+	closeMu sync.RWMutex
+	closed  bool
+
+	enqueued atomic.Uint64
+	merged   atomic.Uint64
+	shedFull atomic.Uint64
+}
+
+func newMergeQueue(study *core.Study, bound int, onMerge func(), gate chan struct{}) *mergeQueue {
+	if bound <= 0 {
+		bound = DefaultQueueBound
+	}
+	q := &mergeQueue{
+		study:   study,
+		ch:      make(chan queuedShard, bound),
+		onMerge: onMerge,
+		gate:    gate,
+	}
+	q.wg.Add(1)
+	go q.loop()
+	return q
+}
+
+// enqueue hands a shard to the merge loop without blocking: a full (or
+// closed) queue sheds with errIngestBusy instead of buffering the reader.
+func (q *mergeQueue) enqueue(st *queueStream, shard *notary.Aggregate) error {
+	q.closeMu.RLock()
+	defer q.closeMu.RUnlock()
+	if q.closed {
+		q.shedFull.Add(1)
+		return errIngestBusy
+	}
+	st.wg.Add(1)
+	select {
+	case q.ch <- queuedShard{shard: shard, st: st}:
+		st.enqueued++
+		q.enqueued.Add(1)
+		return nil
+	default:
+		st.wg.Done()
+		q.shedFull.Add(1)
+		return errIngestBusy
+	}
+}
+
+func (q *mergeQueue) loop() {
+	defer q.wg.Done()
+	for qs := range q.ch {
+		if q.gate != nil {
+			<-q.gate
+		}
+		if err := q.study.MergeShard(qs.shard); err != nil {
+			qs.st.fail(err)
+		} else if q.onMerge != nil {
+			q.onMerge()
+		}
+		q.merged.Add(1)
+		qs.st.wg.Done()
+	}
+}
+
+// close drains the queue: no further enqueues are accepted (they shed), and
+// it returns only after every already-queued shard has merged.
+func (q *mergeQueue) close() {
+	q.closeMu.Lock()
+	if q.closed {
+		q.closeMu.Unlock()
+		return
+	}
+	q.closed = true
+	q.closeMu.Unlock()
+	close(q.ch)
+	q.wg.Wait()
+}
+
+// stats reports the /healthz ingest-queue gauges: instantaneous depth,
+// capacity, lag (enqueued minus merged — what a consumer is behind by) and
+// lifetime batch/shed counters.
+func (q *mergeQueue) stats() map[string]any {
+	enq, mrg := q.enqueued.Load(), q.merged.Load()
+	return map[string]any{
+		"capacity":         cap(q.ch),
+		"depth":            len(q.ch),
+		"lag":              enq - mrg,
+		"batches_enqueued": enq,
+		"batches_merged":   mrg,
+		"shed_full":        q.shedFull.Load(),
+	}
+}

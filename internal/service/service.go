@@ -7,8 +7,11 @@
 //
 // Endpoints:
 //
-//	POST /ingest          TSV connection-log stream (LogWriter format; header
-//	                      and comment lines are skipped, ReadLog semantics)
+//	POST /ingest          a connection-log stream: TSV (LogWriter format;
+//	                      header and comment lines are skipped, ReadLog
+//	                      semantics) or, with Content-Type
+//	                      application/x-tlsage-batch, the length-prefixed
+//	                      binary batch framing (notary.ReadBatches)
 //	GET  /figures         every catalog figure, evaluated on a frame snapshot
 //	GET  /figure/{name}   one figure by catalog name ("versions") or number ("1")
 //	GET  /scalars         the paper-vs-measured scalar report
@@ -29,7 +32,13 @@
 // Aggregate.Merge every FlushEvery records and at stream end. The merged
 // content is identical to serial ingestion for every flush cadence, so a
 // served study's figures and scalars match the offline loadlog path
-// exactly.
+// exactly. With WithQueueBound the fold is decoupled further: shards travel
+// a bounded queue to a single merge loop, and a stream that finds the queue
+// full is shed (429 / "busy") instead of buffering without bound.
+//
+// Raw TCP ingest shares one port for both wire formats: the first bytes of
+// each connection are sniffed for the batch magic, and anything else takes
+// the TSV debug path.
 package service
 
 import (
@@ -41,6 +50,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,8 +66,19 @@ import (
 const DefaultFlushEvery = 4096
 
 // DefaultRetryAfter is the Retry-After hint (seconds) sent with a 429 when
-// the in-flight stream limit sheds an ingest.
+// the in-flight stream limit or the merge queue sheds an ingest.
 const DefaultRetryAfter = 1
+
+// Content types negotiated by POST /ingest. Anything other than the batch
+// type (including an absent header) takes the TSV path, so existing feeders
+// keep working unchanged.
+const (
+	// ContentTypeTSV is the textual connection-log stream (LogWriter format).
+	ContentTypeTSV = "text/tab-separated-values"
+	// ContentTypeBatch is the length-prefixed binary batch framing
+	// (notary.EncodeBatch / notary.ReadBatches).
+	ContentTypeBatch = "application/x-tlsage-batch"
+)
 
 // Server is the live-ingest front end over one study.
 type Server struct {
@@ -83,6 +104,20 @@ type Server struct {
 	// without delivering bytes; a stalled client errors out instead of
 	// wedging Close behind the handler drain (0 = no deadline).
 	idleTimeout time.Duration
+
+	// queue, when WithQueueBound is configured, decouples stream readers
+	// from the study write path: parsed shards travel this bounded channel
+	// to a single merge loop, and a full queue sheds the stream instead of
+	// buffering it. queueGate is the test hook newMergeQueue threads to the
+	// loop.
+	queue      *mergeQueue
+	queueBound int
+	queueGate  chan struct{}
+
+	// Wire-format ingest gauges for /healthz.
+	binaryFrames  atomic.Uint64
+	binaryRecords atomic.Uint64
+	tsvRecords    atomic.Uint64
 
 	// snaps, when durability is configured, snapshots the study at ingest
 	// flush boundaries / on a timer / at Close.
@@ -160,6 +195,19 @@ func WithIdleTimeout(d time.Duration) Option {
 	}
 }
 
+// WithQueueBound routes shard merges through a bounded queue of n parsed
+// shards drained by a single merge loop. Stream readers then never block on
+// the study's write lock: a reader whose shard finds the queue full is shed
+// with 429/Retry-After (HTTP) or a "busy" status line (TCP) rather than
+// stacking up behind a slow merge. n <= 0 keeps the inline-merge path.
+func WithQueueBound(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.queueBound = n
+		}
+	}
+}
+
 // WithQueryCache attaches a query result cache to the served study, with id
 // namespacing its entries (the Router passes the study id, so one cache
 // serves every hosted study without key collisions). POST /query responses
@@ -195,6 +243,13 @@ func NewServer(study *core.Study, opts ...Option) *Server {
 	}
 	if s.durOpts != nil {
 		s.snaps = newSnapshotManager(study, *s.durOpts)
+	}
+	if s.queueBound > 0 {
+		var onMerge func()
+		if s.snaps != nil {
+			onMerge = s.snaps.noteProgress
+		}
+		s.queue = newMergeQueue(study, s.queueBound, onMerge, s.queueGate)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -233,6 +288,11 @@ func (s *Server) Close() error {
 		}
 	}
 	s.connWG.Wait()
+	if s.queue != nil {
+		// Drain queued shards into the study before the tee flushes and the
+		// final snapshot is cut, so durable state matches what merged.
+		s.queue.close()
+	}
 	if s.logSink != nil {
 		if err := s.logSink.Close(); err != nil && first == nil {
 			first = err
@@ -273,28 +333,56 @@ type ingestStats struct {
 	Generation uint64 `json:"generation"`
 }
 
-// ingest drains one TSV stream into the live study with ReadLog's line
-// semantics, returning how many records were applied. On a malformed line
-// the error is returned and everything before the bad line stays applied —
-// a live collector keeps what it has seen.
-func (s *Server) ingest(r io.Reader) (ingestStats, error) {
+// ingest drains one record stream into the live study — TSV with ReadLog's
+// line semantics or, when binary is set, the batch framing via ReadBatches —
+// returning how many records were applied. On a malformed line or frame the
+// error is returned and everything already flushed stays applied — a live
+// collector keeps what it has seen. A merge-queue shed surfaces as
+// errIngestBusy with Records reporting only what actually reached the study,
+// so feeders can tell a cleanly shed stream (0 applied, safe to retry) from
+// a part-applied one.
+func (s *Server) ingest(r io.Reader, binary bool) (ingestStats, error) {
 	ing := newShardIngester(s.study, s.flushEvery, s.logSink)
-	if s.snaps != nil {
+	if s.queue != nil {
+		ing.queue = s.queue
+		ing.qs = &queueStream{}
+	} else if s.snaps != nil {
 		// Flush boundaries double as durability checkpoints: the snapshot
 		// record-count trigger is re-checked every time a shard folds in.
+		// (In queue mode the merge loop owns this hook instead.)
 		ing.onFlush = s.snaps.noteProgress
 	}
-	readErr := notary.ReadLog(r, ing)
+	var readErr error
+	if binary {
+		frames, _, err := notary.ReadBatches(r, ing)
+		s.binaryFrames.Add(frames)
+		s.binaryRecords.Add(uint64(ing.seen))
+		readErr = err
+	} else {
+		readErr = notary.ReadLog(r, ing)
+		s.tsvRecords.Add(uint64(ing.seen))
+	}
 	flushErr := ing.Close()
+	var mergeErr error
+	if ing.qs != nil {
+		// Wait for every shard this stream enqueued to fold in, so the
+		// reply's record count and generation describe applied state exactly
+		// as on the inline-merge path.
+		mergeErr = ing.qs.wait()
+	}
 	_, _, gen, err := s.study.Counts()
 	if err != nil {
 		return ingestStats{}, err
 	}
 	st := ingestStats{Records: ing.total, Generation: gen}
-	if readErr != nil {
+	switch {
+	case readErr != nil:
 		return st, readErr
+	case flushErr != nil:
+		return st, flushErr
+	default:
+		return st, mergeErr
 	}
-	return st, flushErr
 }
 
 // shardIngester accumulates a stream into a private aggregate and merges it
@@ -305,10 +393,15 @@ type shardIngester struct {
 	tee   *notary.LockedSink // optional, may be nil
 	every int
 	since int
-	total int
+	total int // records applied (or accepted into the queue)
+	seen  int // records observed, including any in a shed shard
 	// onFlush, when set, runs after every successful merge into the live
-	// study — the durability checkpoint hook.
+	// study — the durability checkpoint hook (inline-merge mode only).
 	onFlush func()
+	// queue/qs, when set, switch flush from inline MergeShard to enqueueing
+	// on the server's bounded merge queue under this stream's tracker.
+	queue *mergeQueue
+	qs    *queueStream
 }
 
 func newShardIngester(study *core.Study, every int, tee *notary.LockedSink) *shardIngester {
@@ -329,6 +422,7 @@ func (si *shardIngester) Observe(r *notary.Record) error {
 	}
 	si.shard.Add(r)
 	si.total++
+	si.seen++
 	si.since++
 	if si.since >= si.every {
 		return si.flush()
@@ -344,14 +438,25 @@ func (si *shardIngester) flush() error {
 	if si.since == 0 {
 		return nil
 	}
-	if err := si.study.MergeShard(si.shard); err != nil {
-		return err
+	if si.queue != nil {
+		if err := si.queue.enqueue(si.qs, si.shard); err != nil {
+			// The shed shard never reaches the study: report only applied
+			// records so the feeder can tell whether a retry would duplicate.
+			si.total -= si.since
+			si.shard = notary.NewAggregate()
+			si.since = 0
+			return err
+		}
+	} else {
+		if err := si.study.MergeShard(si.shard); err != nil {
+			return err
+		}
+		if si.onFlush != nil {
+			si.onFlush()
+		}
 	}
 	si.shard = notary.NewAggregate()
 	si.since = 0
-	if si.onFlush != nil {
-		si.onFlush()
-	}
 	return nil
 }
 
@@ -380,16 +485,19 @@ func (s *Server) setGeneration(w http.ResponseWriter) {
 
 // ingestErrorStatus separates the error classes of a failed ingest so
 // clients know whether to fix the payload or retry: an oversized body is
-// 413, a malformed line (or one beyond the scanner's line-length ceiling)
-// is 400, and anything else — merge or durable-tee failures inside the
-// collector — is 500.
+// 413, a malformed line or batch frame (or a line beyond the scanner's
+// length ceiling) is 400, a merge-queue shed is 429, and anything else —
+// merge or durable-tee failures inside the collector — is 500.
 func ingestErrorStatus(err error) int {
 	var le *notary.LineError
+	var be *notary.BatchError
 	var mbe *http.MaxBytesError
 	switch {
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge
-	case errors.As(err, &le), errors.Is(err, bufio.ErrTooLong):
+	case errors.Is(err, errIngestBusy):
+		return http.StatusTooManyRequests
+	case errors.As(err, &le), errors.As(err, &be), errors.Is(err, bufio.ErrTooLong):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -414,6 +522,17 @@ func (b *bodyCapTracker) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// isBatchContentType reports whether a Content-Type header selects the
+// binary batch framing. Parameters (";charset=..." etc.) are ignored and
+// the match is case-insensitive; everything else falls back to TSV so
+// pre-batch feeders keep working unchanged.
+func isBatchContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), ContentTypeBatch)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.acquireStream() {
 		w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfter))
@@ -428,13 +547,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		capped = &bodyCapTracker{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
 		body = capped
 	}
-	st, err := s.ingest(body)
+	st, err := s.ingest(body, isBatchContentType(r.Header.Get("Content-Type")))
 	s.setGeneration(w)
 	if err != nil {
 		status := ingestErrorStatus(err)
 		if capped != nil && capped.hit {
 			status = http.StatusRequestEntityTooLarge
 			err = fmt.Errorf("request body exceeds the %d-byte ingest cap: %w", s.maxBody, err)
+		}
+		if status == http.StatusTooManyRequests {
+			// A shed stream is retryable only when nothing was applied; the
+			// records count in the body lets the feeder decide (FeedHTTP
+			// refuses to blind-retry a part-applied stream).
+			w.Header().Set("Retry-After", strconv.Itoa(DefaultRetryAfter))
 		}
 		writeJSON(w, status, map[string]any{
 			"error":      err.Error(),
@@ -520,16 +645,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// always describes the data in the body even while ingestion advances
 	// the study, and X-Cache tells dashboards whether the hot path was hit.
 	var (
-		res analysis.QueryResult
-		gen uint64
-		hit bool
-		err error
+		res  analysis.QueryResult
+		body []byte
+		gen  uint64
+		hit  bool
+		err  error
 	)
 	switch {
 	case req.Query != "":
-		res, gen, hit, err = s.study.QueryInfo(req.Query)
+		res, body, gen, hit, err = s.study.QueryInfoJSON(req.Query)
 	case req.Expr != nil:
-		res, gen, hit, err = s.study.QueryExprInfo(req.Expr)
+		res, body, gen, hit, err = s.study.QueryExprInfoJSON(req.Expr)
 	default:
 		s.setGeneration(w)
 		writeError(w, http.StatusBadRequest,
@@ -550,6 +676,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
+	}
+	if body != nil {
+		// The cache stored the serialized response next to the result
+		// (EncodeJSONBody matches writeJSON byte for byte), so a hit skips
+		// re-marshalling entirely.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -573,6 +708,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.sem != nil {
 		health["max_in_flight"] = s.maxInFlight
+	}
+	// Wire-format gauges: how many records arrived per framing, and how many
+	// binary frames were decoded (records/frame tracks producer batch size).
+	health["ingest"] = map[string]any{
+		"binary_frames":  s.binaryFrames.Load(),
+		"binary_records": s.binaryRecords.Load(),
+		"tsv_records":    s.tsvRecords.Load(),
+	}
+	if s.queue != nil {
+		// Merge-queue gauges: depth/lag say how far merging trails parsing,
+		// shed_full how often saturation turned arrivals away.
+		health["ingest_queue"] = s.queue.stats()
 	}
 	if s.snaps != nil {
 		snapGen, age, written, errs := s.snaps.status()
@@ -598,14 +745,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // maxAcceptBackoff caps the retry delay after transient Accept errors.
 const maxAcceptBackoff = time.Second
 
-// ServeTCP accepts raw TSV streams on ln: each connection is one log
+// ServeTCP accepts raw record streams on ln: each connection is one log
 // stream, ingested with the same semantics as POST /ingest; the server
 // replies with a single status line ("ok <records> <generation>",
-// "busy <retry-after-seconds>" when the in-flight limit sheds the stream,
-// or "error: ...") and closes the connection. Transient Accept errors
-// (EMFILE, timeouts) are retried with capped exponential backoff instead
-// of killing the loop. It returns after the listener closes (Close does
-// that).
+// "busy <retry-after-seconds>" when the in-flight limit or merge queue
+// sheds the stream before anything applied, or "error: ...") and closes the
+// connection. The first bytes of each connection are sniffed: the batch
+// magic selects the binary framing, anything else (including an empty
+// stream) is read as TSV — both formats share the port, TSV staying the
+// debug path one can drive with netcat. Transient Accept errors (EMFILE,
+// timeouts) are retried with capped exponential backoff instead of killing
+// the loop. It returns after the listener closes (Close does that).
 func (s *Server) ServeTCP(ln net.Listener) error {
 	s.tcpMu.Lock()
 	s.tcpLns = append(s.tcpLns, ln)
@@ -654,7 +804,10 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 			if s.idleTimeout > 0 {
 				src = &idleDeadlineReader{conn: conn, idle: s.idleTimeout}
 			}
-			st, err := s.ingest(src)
+			// Sniff under the idle deadline too — a client that connects and
+			// never sends its first bytes must still time out.
+			br, binary := notary.SniffReader(src)
+			st, err := s.ingest(br, binary)
 			if err != nil {
 				// The client may still be mid-stream; stop reading without
 				// resetting the connection so the error line below survives
@@ -662,6 +815,12 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 				// would RST the queued reply away).
 				if tc, ok := conn.(*net.TCPConn); ok {
 					_ = tc.CloseRead()
+				}
+				if errors.Is(err, errIngestBusy) && st.Records == 0 {
+					// Cleanly shed: nothing applied, so the feeder may back
+					// off and replay the stream without duplicating records.
+					s.writeTCPReply(conn, fmt.Sprintf("busy %d\n", DefaultRetryAfter))
+					return
 				}
 				s.writeTCPReply(conn, fmt.Sprintf("error: %v\n", err))
 				return
