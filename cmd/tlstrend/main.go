@@ -9,13 +9,14 @@
 //	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-queue-bound N] [-query-cache N]  live notary service: TSV + binary-batch ingest, JSON query endpoints, durable snapshots, restart recovery, cached queries
 //	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-binary [-batch N]] [-retry N]  stream a log or a live simulation into a server
 //	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
+//	                    (column families include fp:<id12|other> top-K fingerprints and agent:<class> client attribution)
 //	tlstrend figure     [-n N | -name NAME] [-conns N] [-chart]  print one catalog figure as table or chart
 //	tlstrend figures    [-conns N]                             print all figures
 //	tlstrend metrics                                           list the figure catalog (no simulation)
 //	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
 //	tlstrend table2     [-conns N]                             print the Table 2 reproduction
 //	tlstrend scan       [-hosts N] [-date YYYY-MM-DD]          run an active scan campaign over a local farm
-//	tlstrend scansweep  [-hosts N] [-step M] [-alexa]          campaigns across the Censys window
+//	tlstrend scansweep  [-hosts N] [-step M] [-alexa] [-serve ADDR]  campaigns across the Censys window, optionally hosted as a queryable study
 //	tlstrend fingerprints [-conns N]                           fingerprint DB summary and §4.1 lifetimes
 //	tlstrend extensions [-conns N] [-chart]                    extension uptake + TLS 1.3 variants
 //	tlstrend experiments [-conns N] [-hosts N]                 full paper-vs-measured report
@@ -103,14 +104,17 @@ commands:
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
   serve         run the live notary service: ingest TSV or binary-batch streams, serve JSON queries
   feed          stream a log or a live simulation into a running server (TSV or -binary batch frames)
-  query         evaluate a metric expression (see README grammar) offline or against a server
+  query         evaluate a metric expression (see README grammar) offline or against a server;
+                families span versions, ciphers, curves, extensions, and the attribution
+                columns fp:<id|other> (top-32 fingerprints) and agent:<class> (client classes)
   figure        print one catalog figure (-n 1–10 or -name) as a table or ASCII chart
   figures       print every figure
   metrics       list the declarative figure catalog (ids, names, series)
   table         print Table 1, 3, 4, 5 or 6
   table2        print the Table 2 fingerprint-summary reproduction
   scan          run an active Censys-style campaign over a local TCP farm
-  scansweep     run campaigns across Aug 2015 – May 2018 (the Censys window)
+  scansweep     run campaigns across Aug 2015 – May 2018 (the Censys window);
+                -serve hosts the results as study 'scan' on the query/figure API
   fingerprints  fingerprint database summary and §4.1 lifetime stats
   extensions    extension-uptake figure (RIE, EtM, EMS, ...) and TLS 1.3 variants
   experiments   full paper-vs-measured report (passive + active + fingerprints)
@@ -813,6 +817,7 @@ func cmdScanSweep(args []string) error {
 	workers := fs.Int("workers", 24, "scanner workers")
 	seed := fs.Int64("seed", 7, "population seed")
 	alexa := fs.Bool("alexa", false, "popularity-weighted (Alexa-style) universe")
+	serveAddr := fs.String("serve", "", "after the sweep, host the results as study 'scan' at this HTTP address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -823,11 +828,47 @@ func cmdScanSweep(args []string) error {
 		Seed:               *seed,
 		PopularityWeighted: *alexa,
 	}
-	points, err := sweep.Run(context.Background())
+	months, reports, err := sweep.RunReports(context.Background())
 	if err != nil {
 		return err
 	}
-	return core.RenderSweep(os.Stdout, points)
+	if err := core.RenderSweep(os.Stdout, core.SweepPoints(months, reports)); err != nil {
+		return err
+	}
+	if *serveAddr == "" {
+		return nil
+	}
+	// Host the sweep on the standard query surface: the campaign counters
+	// fold into a Study (see core.NewScanStudy) and mount on a Router, so
+	// e.g. POST /studies/scan/query {"query": "pct(version:ssl3 / total)"}
+	// replays the table above month by month.
+	study, err := core.NewScanStudy(months, reports)
+	if err != nil {
+		return err
+	}
+	rt := service.NewRouter()
+	if err := rt.Add("scan", service.NewServer(study)); err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", *serveAddr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Handler: rt.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "serving sweep results on http://%s/studies/scan/ (Ctrl-C to stop)\n", ln.Addr())
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }
 
 func cmdFingerprints(args []string) error {

@@ -55,6 +55,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The same attribution rides the declarative query surface: agent:
+	// columns carry ingest-time client-class attribution (the numbers behind
+	// Table 2), fp: columns the top-32 fingerprints by volume with the rest
+	// folded into fp:other.
+	fmt.Println("\nattribution via the query surface:")
+	for _, src := range []string{
+		"over(agent:* / fp-conns)",        // total attributed coverage (Table 2's bottom line)
+		"pct(agent:libraries / fp-conns)", // one class's monthly share
+		"count(fp:other)",                 // volume beyond the top-K columns
+	} {
+		res, err := study.Query(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Kind == "scalar" {
+			fmt.Printf("  %-34s = %.2f\n", src, res.Value)
+		} else {
+			last := res.Series.Points[len(res.Series.Points)-1]
+			fmt.Printf("  %-34s = %.2f (at %s)\n", src, last.Value, last.Month)
+		}
+	}
+
 	st, err := study.FingerprintDurations()
 	if err != nil {
 		log.Fatal(err)

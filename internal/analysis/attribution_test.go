@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/notary"
+	"tlsage/internal/simulate"
+)
+
+var (
+	classifiedOnce sync.Once
+	classifiedA    *notary.Aggregate
+	classifiedDB   *fingerprint.DB
+)
+
+// classifiedAgg runs the simulator into a classifier-attached aggregate, the
+// way core constructors build studies now — so the ByClientClass counters
+// (and with them the agent: family) are populated by ingest-time attribution.
+func classifiedAgg(t testing.TB) (*notary.Aggregate, *fingerprint.DB) {
+	t.Helper()
+	classifiedOnce.Do(func() {
+		classifiedDB = fingerprint.BuildDefault()
+		agg := notary.NewAggregate()
+		agg.SetClassifier(classifiedDB)
+		if err := simulate.New(simulate.DefaultOptions(200)).Run(agg); err != nil {
+			panic(err)
+		}
+		classifiedA = agg
+	})
+	return classifiedA, classifiedDB
+}
+
+// TestTable2FrameMatchesLegacy is the golden parity check for the declarative
+// Table 2: BuildTable2Frame — every number an agent:-family expression over
+// the frame — must render byte-for-byte what the legacy aggregate walk
+// (BuildTable2) renders, on a study whose classifier is the same database.
+func TestTable2FrameMatchesLegacy(t *testing.T) {
+	agg, db := classifiedAgg(t)
+	legacy := BuildTable2(agg, db)
+	framed := BuildTable2Frame(NewFrame(agg), db)
+
+	if legacy.TotalCoverage == 0 {
+		t.Fatal("legacy Table 2 attributes nothing — vacuous parity check")
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := legacy.RenderTable2(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := framed.RenderTable2(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatalf("Table 2 diverges.\nlegacy:\n%s\nframe:\n%s", wantBuf.String(), gotBuf.String())
+	}
+}
+
+// TestFPFamilyMatchesAggregate checks the fp: columns against a direct walk
+// of the aggregate's per-month volume maps: fp-conns and fp:* both equal the
+// exact per-month fingerprinted volume (the top-K cap folds, never drops),
+// and each top-K column carries exactly its fingerprint's volume.
+func TestFPFamilyMatchesAggregate(t *testing.T) {
+	agg, _ := classifiedAgg(t)
+	f := NewFrame(agg)
+
+	months := agg.Months()
+	wantConns := make([]int, len(months))
+	totalVols := make(map[string]int)
+	for i, m := range months {
+		for fp, c := range agg.Stats(m).ByFingerprint {
+			wantConns[i] += c
+			totalVols[fp] += c
+		}
+	}
+	if sumCol(wantConns) == 0 {
+		t.Fatal("aggregate has no fingerprint volume — vacuous")
+	}
+	if !reflect.DeepEqual(f.FPConns, wantConns) {
+		t.Errorf("fp-conns diverges from ByFingerprint walk")
+	}
+	res, err := f.QueryString("fp:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Series.Points {
+		if p.Value != float64(wantConns[i]) {
+			t.Errorf("fp:* month %v = %v, want %d", months[i], p.Value, wantConns[i])
+		}
+	}
+
+	if len(f.FPNames) == 0 || len(f.FPNames) > TopKFingerprints {
+		t.Fatalf("FPNames has %d entries, want 1..%d", len(f.FPNames), TopKFingerprints)
+	}
+	topTotal := 0
+	for id, fp := range f.FPNames {
+		if FPID(fp) != id {
+			t.Errorf("FPNames id %q does not match FPID(%q)", id, fp)
+		}
+		if got := sumCol(f.FPCol[id]); got != totalVols[fp] {
+			t.Errorf("fp:%s sums to %d, want %d (volume of %q)", id, got, totalVols[fp], fp)
+		}
+		topTotal += totalVols[fp]
+	}
+	if want := sumCol(wantConns) - topTotal; sumCol(f.FPCol[FPOtherKey]) != want {
+		t.Errorf("fp:other sums to %d, want %d", sumCol(f.FPCol[FPOtherKey]), want)
+	}
+
+	distinct, topK, otherShare := f.FingerprintGauges()
+	if distinct != len(totalVols) {
+		t.Errorf("gauge distinct = %d, want %d", distinct, len(totalVols))
+	}
+	if topK != TopKFingerprints || otherShare < 0 || otherShare > 100 {
+		t.Errorf("gauges topK=%d otherShare=%v", topK, otherShare)
+	}
+}
+
+// TestAgentFamilyMatchesAggregate checks every agent: column against the
+// aggregate's ByClientClass counters, slug by slug, and the wildcard against
+// their total.
+func TestAgentFamilyMatchesAggregate(t *testing.T) {
+	agg, _ := classifiedAgg(t)
+	f := NewFrame(agg)
+	months := agg.Months()
+
+	attributed := 0
+	for class, col := range f.Agent {
+		slug, ok := AgentSlug(class)
+		if !ok {
+			t.Fatalf("Agent column %q has no query slug", class)
+		}
+		res, err := f.QueryString("agent:" + slug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range res.Series.Points {
+			want := agg.Stats(months[i]).ByClientClass[class]
+			if p.Value != float64(want) || col[i] != want {
+				t.Errorf("agent:%s month %v = %v (col %d), want %d", slug, months[i], p.Value, col[i], want)
+			}
+			attributed += want
+		}
+	}
+	if attributed == 0 {
+		t.Fatal("no attributed volume — vacuous")
+	}
+	res, err := f.QueryString("count(agent:*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != float64(attributed) {
+		t.Errorf("count(agent:*) = %v, want %d", res.Value, attributed)
+	}
+}
+
+// TestFPColumnsDeterministic: two frames over the same aggregate carry
+// identical fp:/agent: column sets — the top-K ranking has a total order.
+func TestFPColumnsDeterministic(t *testing.T) {
+	agg, _ := classifiedAgg(t)
+	a, b := NewFrame(agg), NewFrame(agg)
+	if !reflect.DeepEqual(a.FPCol, b.FPCol) || !reflect.DeepEqual(a.FPNames, b.FPNames) ||
+		!reflect.DeepEqual(a.Agent, b.Agent) {
+		t.Fatal("fingerprint columns differ across identical builds")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("frame fingerprints differ across identical builds")
+	}
+}
+
+// BenchmarkFrameBuildFP measures the frame build on a classified aggregate —
+// the fp:/agent: column materialization rides the same single pass.
+func BenchmarkFrameBuildFP(b *testing.B) {
+	agg, _ := classifiedAgg(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFrame(agg)
+	}
+}
+
+// BenchmarkQueryFP measures compiled evaluation over the new families.
+func BenchmarkQueryFP(b *testing.B) {
+	agg, _ := classifiedAgg(b)
+	f := NewFrame(agg)
+	plans := make([]*Plan, 0, 3)
+	for _, src := range []string{
+		"pct(agent:libraries / fp-conns)",
+		"over(agent:* / fp-conns)",
+		"count(fp:other)",
+	} {
+		p, err := CompileQuery(src, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	buf := make([]float64, f.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range plans {
+			if p.Kind() == KindScalar {
+				_ = p.EvalScalar()
+			} else {
+				p.EvalSeriesInto(buf)
+			}
+		}
+	}
+}

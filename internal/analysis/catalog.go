@@ -179,6 +179,24 @@ var catalog = []FigureSpec{
 		},
 		Events: []string{timeline.EventLucky13, timeline.EventHeartbleed},
 	},
+	{
+		// §4 / Table 2 over time: the share of fingerprinted connections
+		// attributed to each client class, month by month. The Table 2 scalars
+		// are the over() folds of exactly these ratios.
+		Num: 0, ID: "Figure E2", Name: "agent-classes",
+		Title: "Attributed client classes (% fingerprinted connections)",
+		Metrics: []MetricSpec{
+			{"Libraries", q("pct(agent:libraries / fp-conns)")},
+			{"Browsers", q("pct(agent:browsers / fp-conns)")},
+			{"OS Tools and Services", q("pct(agent:os-tools / fp-conns)")},
+			{"Mobile apps", q("pct(agent:mobile-apps / fp-conns)")},
+			{"Dev. tools", q("pct(agent:dev-tools / fp-conns)")},
+			{"AV", q("pct(agent:av / fp-conns)")},
+			{"Cloud Storage", q("pct(agent:cloud-storage / fp-conns)")},
+			{"Email", q("pct(agent:email / fp-conns)")},
+			{"Malware & PUP", q("pct(agent:malware / fp-conns)")},
+		},
+	},
 }
 
 // Catalog returns every declared figure spec, paper figures first.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"tlsage/internal/clientdb"
 	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
@@ -104,6 +105,7 @@ var namedColumns = map[string]func(*Frame) []int{
 	"total":              func(f *Frame) []int { return f.Total },
 	"established":        func(f *Frame) []int { return f.Established },
 	"fingerprints":       func(f *Frame) []int { return f.FPTotal },
+	"fp-conns":           func(f *Frame) []int { return f.FPConns },
 	"adv-rc4":            func(f *Frame) []int { return f.AdvRC4 },
 	"adv-des":            func(f *Frame) []int { return f.AdvDES },
 	"adv-3des":           func(f *Frame) []int { return f.Adv3DES },
@@ -166,6 +168,50 @@ var kexKeys = map[string]registry.KeyExchange{
 	"gost": registry.KexGOST, "tls13": registry.KexTLS13,
 }
 
+// agentKeys maps the query grammar's client-class slugs to the clientdb
+// class names the Agent columns are keyed by (the grammar's word bytes
+// exclude spaces, '&' and '.', so "OS Tools and Services" queries as
+// "agent:os-tools").
+var agentKeys = map[string]string{
+	"libraries":     string(clientdb.ClassLibrary),
+	"browsers":      string(clientdb.ClassBrowser),
+	"os-tools":      string(clientdb.ClassOSTool),
+	"mobile-apps":   string(clientdb.ClassMobileApp),
+	"dev-tools":     string(clientdb.ClassDevTool),
+	"av":            string(clientdb.ClassAV),
+	"cloud-storage": string(clientdb.ClassCloudStorage),
+	"email":         string(clientdb.ClassEmail),
+	"malware":       string(clientdb.ClassMalware),
+}
+
+// AgentSlug returns the agent: selector slug for a clientdb class name,
+// ok=false for a class the vocabulary does not carry.
+func AgentSlug(class string) (string, bool) {
+	for slug, name := range agentKeys {
+		if name == class {
+			return slug, true
+		}
+	}
+	return "", false
+}
+
+// isFPID reports whether s has the shape of an FPID column key: exactly 12
+// lowercase hex digits. Any well-formed ID validates — an ID outside the
+// frame's top-K set simply reads as the zero column, like any never-observed
+// family key.
+func isFPID(s string) bool {
+	if len(s) != 12 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // extKeys and curveKeys are derived from the registry name tables (IANA
 // names are already lowercase). They are var-initialized, not filled in an
 // init func, because the catalog's own initializer validates expressions
@@ -192,9 +238,9 @@ var (
 // columnFamilies routes a "family:key" selector to the frame map it reads.
 // The wildcard key "*" sums every observed column of the family.
 var columnFamilies = map[string]struct {
-	resolve func(key string) bool                    // key validity (canonical form)
-	column  func(f *Frame, key string) []int         // nil when never observed
-	all     func(f *Frame) map[string][]int          // nil: family has no wildcard
+	resolve func(key string) bool            // key validity (canonical form)
+	column  func(f *Frame, key string) []int // nil when never observed
+	all     func(f *Frame) map[string][]int  // nil: family has no wildcard
 }{
 	"version": {
 		resolve: func(k string) bool { _, ok := versionKeys[k]; return ok },
@@ -225,6 +271,16 @@ var columnFamilies = map[string]struct {
 		resolve: func(k string) bool { _, ok := versionKeys[k]; return ok },
 		column:  func(f *Frame, k string) []int { return f.TLS13Variant[versionKeys[k]] },
 		all:     func(f *Frame) map[string][]int { return intCols(f.TLS13Variant) },
+	},
+	"fp": {
+		resolve: func(k string) bool { return k == FPOtherKey || isFPID(k) },
+		column:  func(f *Frame, k string) []int { return f.FPCol[k] },
+		all:     func(f *Frame) map[string][]int { return f.FPCol },
+	},
+	"agent": {
+		resolve: func(k string) bool { _, ok := agentKeys[k]; return ok },
+		column:  func(f *Frame, k string) []int { return f.Agent[agentKeys[k]] },
+		all:     func(f *Frame) map[string][]int { return f.Agent },
 	},
 }
 
@@ -272,7 +328,7 @@ func checkColumn(name string) (string, error) {
 		fam, key := name[:i], name[i+1:]
 		def, ok := columnFamilies[fam]
 		if !ok {
-			return "", fmt.Errorf("unknown column family %q (have version, class, kex, ext, curve, tls13)", fam)
+			return "", fmt.Errorf("unknown column family %q (have version, class, kex, ext, curve, tls13, fp, agent)", fam)
 		}
 		if key == "*" || def.resolve(key) {
 			return name, nil

@@ -1,12 +1,43 @@
 package analysis
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 
 	"tlsage/internal/notary"
 	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
+
+// TopKFingerprints caps how many per-fingerprint columns a frame carries.
+// Real windows see tens of thousands of distinct fingerprints with a heavy
+// head (§4); materializing a dense column per fingerprint would dwarf every
+// other family, so the frame keeps the K highest-volume fingerprints and
+// folds the tail into the FPOtherKey bucket. fp:* therefore still sums to
+// the exact fingerprinted-connection total.
+const TopKFingerprints = 32
+
+// FPOtherKey is the fp: column absorbing every fingerprint outside the
+// top K, keeping the family's wildcard sum exact.
+const FPOtherKey = "other"
+
+// FPID derives the stable 12-hex-digit column key for a fingerprint string.
+// Raw fingerprints contain '|' and ',', which the query grammar rejects, so
+// the fp: family is keyed by this FNV-1a-derived ID instead; Frame.FPNames
+// maps IDs back to full strings for presentation.
+func FPID(fp string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fp); i++ {
+		h ^= uint64(fp[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%012x", h&(1<<48-1))
+}
 
 // Frame is a columnar, immutable snapshot of a notary.Aggregate: a sorted
 // month axis plus one dense per-month column for every counter the analysis
@@ -76,6 +107,21 @@ type Frame struct {
 	// month and how many of them advertise each class.
 	FPTotal                      []int
 	FPRC4, FPDES, FP3DES, FPAEAD []int
+
+	// Fingerprint attribution (§4 / Table 2). FPConns is the per-month
+	// volume of fingerprint-bearing connections (the fp: family denominator,
+	// named column "fp-conns"). FPCol carries one dense volume column per
+	// top-K fingerprint — ranked by whole-window volume, keyed by FPID —
+	// plus the FPOtherKey bucket absorbing everything past the cap, so the
+	// family stays dense no matter how many distinct fingerprints the window
+	// saw. FPNames maps each top-K FPID back to its full fingerprint string.
+	// Agent holds attributed volume per client class (from the aggregate's
+	// classifier), keyed by the clientdb class name.
+	FPConns    []int
+	FPCol      map[string][]int
+	FPNames    map[string]string
+	Agent      map[string][]int
+	fpDistinct int
 
 	// Build-time suite classification (Figure 9): negotiated connections per
 	// AEAD family, from one SuiteByID pass over the union of observed suites.
@@ -162,12 +208,19 @@ func NewFrame(agg *notary.Aggregate) *Frame {
 		FPTotal: ints(),
 		FPRC4:   ints(), FPDES: ints(), FP3DES: ints(), FPAEAD: ints(),
 
+		FPConns: ints(),
+		FPCol:   make(map[string][]int),
+		FPNames: make(map[string]string),
+		Agent:   make(map[string][]int),
+
 		NegAEAD: ints(), NegGCM128: ints(), NegGCM256: ints(), NegChaCha: ints(),
 
 		KexForwardSecret: ints(),
 	}
 
 	suiteClasses := make(map[uint16]negClass)
+	fpVols := make(map[string]int)         // whole-window volume per fingerprint
+	fpRows := make([]map[string]int, 0, n) // per-row ByFingerprint, aligned with Months
 	row := 0
 	agg.EachMonth(func(ms *notary.MonthStats) {
 		i := row
@@ -232,6 +285,15 @@ func NewFrame(agg *notary.Aggregate) *Frame {
 			col(f.PosCount, cl, n)[i] = cnt
 		}
 
+		fpRows = append(fpRows, ms.ByFingerprint)
+		for fp, c := range ms.ByFingerprint {
+			fpVols[fp] += c
+			f.FPConns[i] += c
+		}
+		for class, c := range ms.ByClientClass {
+			col(f.Agent, class, n)[i] = c
+		}
+
 		for _, caps := range ms.FPs {
 			f.FPTotal[i]++
 			if caps.RC4 {
@@ -268,8 +330,59 @@ func NewFrame(agg *notary.Aggregate) *Frame {
 			}
 		}
 	})
+	f.buildFPColumns(fpVols, fpRows, n)
 	f.fingerprint = f.computeFingerprint()
 	return f
+}
+
+// buildFPColumns materializes the fp: family from the per-month volumes
+// collected during the aggregate pass: rank all fingerprints by whole-window
+// volume (ties broken by fingerprint string, so the column set is fully
+// deterministic), give the top K their own dense columns keyed by FPID, and
+// fold everything past the cap into the FPOtherKey bucket.
+func (f *Frame) buildFPColumns(fpVols map[string]int, fpRows []map[string]int, n int) {
+	f.fpDistinct = len(fpVols)
+	if len(fpVols) == 0 {
+		return
+	}
+	ranked := make([]string, 0, len(fpVols))
+	for fp := range fpVols {
+		ranked = append(ranked, fp)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if fpVols[ranked[i]] != fpVols[ranked[j]] {
+			return fpVols[ranked[i]] > fpVols[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	top := make(map[string]string, TopKFingerprints) // fingerprint -> column key
+	for r, fp := range ranked {
+		if r >= TopKFingerprints {
+			break
+		}
+		id := FPID(fp)
+		top[fp] = id
+		f.FPNames[id] = fp
+	}
+	for i, byFP := range fpRows {
+		for fp, c := range byFP {
+			if id, ok := top[fp]; ok {
+				col(f.FPCol, id, n)[i] += c
+			} else {
+				col(f.FPCol, FPOtherKey, n)[i] += c
+			}
+		}
+	}
+}
+
+// FingerprintGauges reports the fp: family's shape for observability:
+// distinct fingerprints in the window, the column cap, and the share of
+// fingerprinted volume folded into the FPOtherKey bucket (percent).
+func (f *Frame) FingerprintGauges() (distinct, topK int, otherShare float64) {
+	if total := sumCol(f.FPConns); total > 0 {
+		otherShare = 100 * float64(sumCol(f.FPCol[FPOtherKey])) / float64(total)
+	}
+	return f.fpDistinct, TopKFingerprints, otherShare
 }
 
 // computeFingerprint hashes the layout a compiled plan binds to: the
@@ -303,6 +416,8 @@ func (f *Frame) computeFingerprint() uint64 {
 	mix(uint64(len(f.TLS13Variant)))
 	mix(uint64(len(f.PosSum)))
 	mix(uint64(len(f.PosCount)))
+	mix(uint64(len(f.FPCol)))
+	mix(uint64(len(f.Agent)))
 	return h
 }
 
@@ -336,6 +451,9 @@ func (f *Frame) sharedPlans() map[*Expr]*Plan {
 			add(s.Expr)
 		}
 		for _, e := range conditionalScalarExprs {
+			add(e)
+		}
+		for _, e := range table2Exprs {
 			add(e)
 		}
 		f.plans = plans

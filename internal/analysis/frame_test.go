@@ -192,8 +192,8 @@ func TestFrameStalenessGeneration(t *testing.T) {
 
 func TestCatalogLookups(t *testing.T) {
 	specs := Catalog()
-	if len(specs) != 11 {
-		t.Fatalf("catalog has %d entries, want 11 (Figures 1-10 + E1)", len(specs))
+	if len(specs) != 12 {
+		t.Fatalf("catalog has %d entries, want 12 (Figures 1-10 + E1 + E2)", len(specs))
 	}
 	names := map[string]bool{}
 	for _, spec := range specs {
@@ -228,4 +228,3 @@ func TestCatalogLookups(t *testing.T) {
 		t.Error("SpecByName on unknown name should fail")
 	}
 }
-

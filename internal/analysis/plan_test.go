@@ -225,6 +225,10 @@ func FuzzCompileEval(fz *testing.F) {
 	fz.Add("max(pct(curve:x25519 / curve:*))")
 	fz.Add("count(sum(version:tls12, curve:*))")
 	fz.Add("position(3des)")
+	fz.Add("pct(fp:other / fp-conns)")
+	fz.Add("pct(fp:0123456789ab / fp-conns)")
+	fz.Add("over(agent:* / fp-conns)")
+	fz.Add("count(sum(agent:libraries, agent:malware, fp:*))")
 	small := simulate.DefaultOptions(30)
 	agg, err := simulate.New(small).RunAggregate()
 	if err != nil {

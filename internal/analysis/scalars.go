@@ -174,6 +174,70 @@ type Table2Row struct {
 	Coverage float64 // % of connections attributed to this class
 }
 
+// table2ClassExprs declares Table 2's per-class measurements as static query
+// expressions over the agent: family, keyed by clientdb class name: coverage
+// is the whole-window share of fingerprinted connections attributed to the
+// class, conns the raw attributed volume (the row ranking key). Static like
+// the catalog, they compile into every frame's shared plan set.
+var table2ClassExprs = func() map[string]struct{ coverage, conns *Expr } {
+	out := make(map[string]struct{ coverage, conns *Expr }, len(agentKeys))
+	for slug, class := range agentKeys {
+		out[class] = struct{ coverage, conns *Expr }{
+			coverage: q("over(agent:" + slug + " / fp-conns)"),
+			conns:    q("count(agent:" + slug + ")"),
+		}
+	}
+	return out
+}()
+
+// exprTable2TotalCoverage is Table 2's "All" coverage: every attributed
+// connection over every fingerprinted connection.
+var exprTable2TotalCoverage = q("over(agent:* / fp-conns)")
+
+// table2Exprs flattens the Table 2 expressions for shared-plan registration.
+var table2Exprs = func() []*Expr {
+	out := []*Expr{exprTable2TotalCoverage}
+	for _, e := range table2ClassExprs {
+		out = append(out, e.coverage, e.conns)
+	}
+	return out
+}()
+
+// BuildTable2Frame reproduces Table 2 from a frame through the query surface:
+// every coverage number is the evaluation of an agent:-family expression
+// against the frame's attribution columns. It matches BuildTable2 exactly —
+// byte-for-byte through RenderTable2 — when the source aggregate's classifier
+// is db, because the ingest-time ByClientClass counters then record the same
+// attribution BuildTable2 recomputes by walking the per-month fingerprint
+// tables.
+func BuildTable2Frame(f *Frame, db *fingerprint.DB) Table2Report {
+	rep := Table2Report{TotalFPs: db.Size(), TotalCoverage: f.scalarOf(exprTable2TotalCoverage)}
+	counts := db.CountByClass()
+	classes := make([]string, 0, len(counts))
+	conns := make(map[string]float64, len(counts))
+	for c := range counts {
+		cls := string(c)
+		classes = append(classes, cls)
+		if e, ok := table2ClassExprs[cls]; ok {
+			conns[cls] = f.scalarOf(e.conns)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if conns[classes[i]] != conns[classes[j]] {
+			return conns[classes[i]] > conns[classes[j]]
+		}
+		return classes[i] < classes[j]
+	})
+	for _, c := range classes {
+		cov := 0.0
+		if e, ok := table2ClassExprs[c]; ok {
+			cov = f.scalarOf(e.coverage)
+		}
+		rep.Rows = append(rep.Rows, Table2Row{Class: c, NumFPs: counts[clientdb.Class(c)], Coverage: cov})
+	}
+	return rep
+}
+
 // BuildTable2 matches the database against every fingerprint-bearing record
 // in the aggregate.
 func BuildTable2(agg *notary.Aggregate, db *fingerprint.DB) Table2Report {
@@ -197,8 +261,14 @@ func BuildTable2(agg *notary.Aggregate, db *fingerprint.DB) Table2Report {
 	for c := range counts {
 		classes = append(classes, string(c))
 	}
+	// Rank by attributed volume with a name tie-break, so equal-volume
+	// classes (all of them, on an unclassified window) order deterministically
+	// and BuildTable2Frame can match byte-for-byte.
 	sort.Slice(classes, func(i, j int) bool {
-		return classConns[classes[i]] > classConns[classes[j]]
+		if classConns[classes[i]] != classConns[classes[j]] {
+			return classConns[classes[i]] > classConns[classes[j]]
+		}
+		return classes[i] < classes[j]
 	})
 	for _, c := range classes {
 		cov := 0.0

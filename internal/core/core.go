@@ -128,23 +128,42 @@ func NewStudy(connsPerMonth int) *Study {
 // aggregate exists (so Frame and every query answer immediately, over zero
 // months) and records arrive through IngestSink or MergeShard instead of
 // Run. This is the service-mode constructor — the same aggregate that
-// answers queries keeps ingesting.
+// answers queries keeps ingesting. The fingerprint database doubles as the
+// aggregate's classifier, so client-class attribution (the agent: query
+// family, Table 2) accumulates as records stream in.
 func NewLiveStudy() *Study {
-	return &Study{
-		agg: notary.NewAggregate(),
-		db:  fingerprint.BuildDefault(),
-	}
+	db := fingerprint.BuildDefault()
+	agg := notary.NewAggregate()
+	agg.SetClassifier(db)
+	return &Study{agg: agg, db: db}
 }
 
 // NewStudyFromAggregate wraps an already-built aggregate — typically one
 // decoded from a durable snapshot — as a live study: queries answer off the
 // recovered months immediately and further records arrive through
-// IngestSink or MergeShard. This is the restart-recovery constructor.
+// IngestSink or MergeShard. This is the restart-recovery constructor. The
+// default fingerprint database is (re)installed as the classifier —
+// configuration is not serialized with snapshots — so attribution resumes
+// for newly ingested records.
 func NewStudyFromAggregate(agg *notary.Aggregate) *Study {
-	return &Study{
-		agg: agg,
-		db:  fingerprint.BuildDefault(),
+	db := fingerprint.BuildDefault()
+	agg.SetClassifier(db)
+	return &Study{agg: agg, db: db}
+}
+
+// NewShard returns a fresh private aggregate configured like the study's own
+// (same classifier), for batched ingestion: parse into the shard without
+// contention, then fold it in with MergeShard. Shards created any other way
+// would silently skip client-class attribution — Merge transfers counters,
+// and only counters.
+func (s *Study) NewShard() *notary.Aggregate {
+	shard := notary.NewAggregate()
+	s.mu.RLock()
+	if s.agg != nil {
+		shard.SetClassifier(s.agg.Classifier())
 	}
+	s.mu.RUnlock()
+	return shard
 }
 
 // WriteSnapshot serializes the study's aggregate to w in the versioned
@@ -181,7 +200,9 @@ func (s *Study) Run(logWriter io.Writer) error {
 // errors the first wins.
 func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	sim := simulate.New(s.Options)
+	db := fingerprint.BuildDefault()
 	agg := notary.NewAggregate()
+	agg.SetClassifier(db)
 	sinks := make([]notary.Sink, 0, 2+len(extra))
 	sinks = append(sinks, agg)
 	if logWriter != nil {
@@ -199,7 +220,7 @@ func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 	}
 	s.mu.Lock()
 	s.agg = agg
-	s.db = fingerprint.BuildDefault()
+	s.db = db
 	s.cacheEpoch++
 	s.mu.Unlock()
 	s.invalidateFrame()
@@ -210,14 +231,17 @@ func (s *Study) RunSinks(logWriter io.Writer, extra ...notary.Sink) error {
 // re-simulating — the post-hoc analysis path. The TSV stream is sharded on
 // line boundaries across Options.Workers parse workers (0 = all cores) and
 // the per-shard aggregates are merged, so loading scales like Run does.
+// Parsing runs classified, so the reloaded study carries the same agent:
+// attribution a live run would.
 func (s *Study) LoadLog(r io.Reader) error {
-	agg, err := notary.ReadLogParallel(r, s.Options.Workers)
+	db := fingerprint.BuildDefault()
+	agg, err := notary.ReadLogParallelClassified(r, s.Options.Workers, db)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.agg = agg
-	s.db = fingerprint.BuildDefault()
+	s.db = db
 	s.cacheEpoch++
 	s.mu.Unlock()
 	s.invalidateFrame()
@@ -538,14 +562,21 @@ func (s *Study) Impacts() ([]analysis.AttackImpact, error) {
 	return analysis.AttackImpactsFrame(f), nil
 }
 
-// Table2 reproduces the fingerprint summary table.
+// Table2 reproduces the fingerprint summary table through the query surface:
+// every coverage number is an agent:-family expression evaluated against the
+// study's cached frame (analysis.BuildTable2Frame), byte-identical to the
+// legacy aggregate walk because the study's classifier is its own fingerprint
+// database. An aggregate recovered from a pre-attribution (v1) snapshot has
+// empty attribution counters; its Table 2 reports zero coverage until records
+// are re-ingested or new ones arrive.
 func (s *Study) Table2() (analysis.Table2Report, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.agg == nil {
-		return analysis.Table2Report{}, ErrNotRun
+	f, err := s.frameLocked()
+	if err != nil {
+		return analysis.Table2Report{}, err
 	}
-	return analysis.BuildTable2(s.agg, s.db), nil
+	return analysis.BuildTable2Frame(f, s.db), nil
 }
 
 // ExtensionFigure builds the §9 extension-uptake figure (Figure E1).

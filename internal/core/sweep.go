@@ -9,6 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"tlsage/internal/fingerprint"
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
 	"tlsage/internal/timeline"
 )
 
@@ -56,6 +59,37 @@ type SweepPoint struct {
 // returns the points of the snapshots that preceded the (chronologically)
 // first failing one, plus that snapshot's error.
 func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
+	months, reports, err := s.RunReports(ctx)
+	return SweepPoints(months, reports), err
+}
+
+// SweepPoints derives the rendered per-month metrics from raw campaign
+// reports — the same projection Run applies, exposed so callers holding the
+// reports (e.g. to host them via NewScanStudy) can still print the table.
+func SweepPoints(months []timeline.Month, reports []*CampaignReport) []SweepPoint {
+	points := make([]SweepPoint, len(reports))
+	for i, rep := range reports {
+		points[i] = SweepPoint{
+			Month:            months[i],
+			SSL3Support:      rep.SSL3SupportPct(),
+			RC4Chosen:        rep.RC4ChosenPct(),
+			RC4Supported:     rep.RC4SupportPct(),
+			CBCChosen:        rep.CBCChosenPct(),
+			TDESChosen:       rep.TDESChosenPct(),
+			HeartbeatSupport: rep.HeartbeatSupportPct(),
+			Heartbleed:       rep.HeartbleedVulnerablePct(),
+			ExportSupport:    rep.ExportSupportPct(),
+		}
+	}
+	return points
+}
+
+// RunReports executes the sweep and returns the raw per-month campaign
+// reports in chronological order — the input NewScanStudy hosts on the query
+// surface; Run derives its SweepPoints from exactly these reports. On
+// failure both slices stop before the (chronologically) first failing
+// snapshot, and that snapshot's error is returned.
+func (s *ScanSweep) RunReports(ctx context.Context) ([]timeline.Month, []*CampaignReport, error) {
 	if s.Start == (timeline.Month{}) {
 		s.Start = timeline.M(2015, time.August)
 	}
@@ -89,7 +123,7 @@ func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	points := make([]SweepPoint, len(months))
+	reports := make([]*CampaignReport, len(months))
 	errs := make([]error, len(months))
 	sem := make(chan struct{}, pool)
 	var wg sync.WaitGroup
@@ -113,17 +147,7 @@ func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
 				cancel()
 				return
 			}
-			points[i] = SweepPoint{
-				Month:            m,
-				SSL3Support:      rep.SSL3SupportPct(),
-				RC4Chosen:        rep.RC4ChosenPct(),
-				RC4Supported:     rep.RC4SupportPct(),
-				CBCChosen:        rep.CBCChosenPct(),
-				TDESChosen:       rep.TDESChosenPct(),
-				HeartbeatSupport: rep.HeartbeatSupportPct(),
-				Heartbleed:       rep.HeartbleedVulnerablePct(),
-				ExportSupport:    rep.ExportSupportPct(),
-			}
+			reports[i] = rep
 		}(i, m)
 	}
 	wg.Wait()
@@ -142,9 +166,49 @@ func (s *ScanSweep) Run(ctx context.Context) ([]SweepPoint, error) {
 				}
 			}
 		}
-		return points[:i], err
+		return months[:i], reports[:i], err
 	}
-	return points, nil
+	return months, reports, nil
+}
+
+// NewScanStudy folds per-month scan campaign reports into a hostable Study,
+// putting the active measurement on the same Frame/Expr query surface (and
+// Router mount) as the passive notary data. Each report lands in its month's
+// counters as pre-aggregated volume:
+//
+//	total             farm hosts probed
+//	established       hosts answering the Chrome-2015 probe
+//	version:ssl3      hosts answering the SSL3-only probe (§5.1)
+//	class:rc4/cbc/3des  suites chosen against the Chrome-2015 list (§5.2–§5.6;
+//	                  cbc counts CBCTotal, matching CBCChosenPct)
+//	adv-rc4           hosts answering the RC4-only probe (SSL-Pulse style)
+//	adv-export        hosts choosing an export suite (§5.5)
+//	offers-heartbeat  hosts acking the heartbeat extension (§5.4)
+//	heartbeat-ack     hosts the live Heartbleed check actually over-read
+//
+// so e.g. pct(version:ssl3 / total) reproduces SSL3SupportPct month by month.
+func NewScanStudy(months []timeline.Month, reports []*CampaignReport) (*Study, error) {
+	if len(months) != len(reports) {
+		return nil, fmt.Errorf("core: %d months but %d reports", len(months), len(reports))
+	}
+	agg := notary.NewAggregate()
+	for i, rep := range reports {
+		rep := rep
+		agg.UpdateMonth(months[i], uint64(rep.Hosts), func(ms *notary.MonthStats) {
+			chrome := rep.Probes["chrome2015"]
+			ms.Total += rep.Hosts
+			ms.Established += chrome.Answered
+			ms.ByVersion[registry.VersionSSL3] += rep.Probes["ssl3only"].Answered
+			ms.ByClass["RC4"] += chrome.ChoseRC4
+			ms.ByClass["CBC"] += chrome.CBCTotal()
+			ms.ByClass["3DES"] += chrome.Chose3DES
+			ms.AdvRC4 += rep.Probes["rc4only"].Answered
+			ms.AdvExport += rep.Probes["exportonly"].ChoseExport
+			ms.OffersHeartbeatN += chrome.HeartbeatAck
+			ms.HeartbeatAckN += rep.VulnerableHosts
+		})
+	}
+	return &Study{agg: agg, db: fingerprint.BuildDefault()}, nil
 }
 
 // RenderSweep writes the sweep as an aligned table.

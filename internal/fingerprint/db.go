@@ -71,6 +71,17 @@ func (db *DB) Lookup(fp Fingerprint) (Entry, bool) {
 	return e, ok
 }
 
+// ClassOf attributes a fingerprint string to its client-class name. It is
+// notary.Classifier: a DB installed on an aggregate fills ByClientClass as
+// records stream in.
+func (db *DB) ClassOf(fp string) (string, bool) {
+	e, ok := db.entries[Fingerprint(fp)]
+	if !ok {
+		return "", false
+	}
+	return string(e.Class), true
+}
+
 // Size reports the number of usable fingerprints.
 func (db *DB) Size() int { return len(db.entries) }
 

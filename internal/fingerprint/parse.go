@@ -1,0 +1,77 @@
+package fingerprint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tlsage/internal/registry"
+)
+
+// Parse inverts FromParts: it splits a canonical fingerprint string back
+// into the four Client Hello feature lists. Round trip holds both ways —
+// FromParts(Parse(fp)) == fp for every fingerprint FromParts can emit
+// (the canonical form is already GREASE-stripped, so stripping again is a
+// no-op) — and arbitrary input yields an error, never a panic.
+func Parse(s string) (suites []uint16, exts []registry.ExtensionID, curves []registry.CurveID, pfs []registry.ECPointFormat, err error) {
+	sections := strings.Split(s, "|")
+	if len(sections) != 4 {
+		return nil, nil, nil, nil, fmt.Errorf("fingerprint: %d sections, want 4", len(sections))
+	}
+	suites, err = parseHexList(sections[0], "cs:")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var u []uint16
+	if u, err = parseHexList(sections[1], "ext:"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	exts = make([]registry.ExtensionID, len(u))
+	for i, v := range u {
+		exts[i] = registry.ExtensionID(v)
+	}
+	if u, err = parseHexList(sections[2], "grp:"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	curves = make([]registry.CurveID, len(u))
+	for i, v := range u {
+		curves[i] = registry.CurveID(v)
+	}
+	if u, err = parseHexList(sections[3], "pf:"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pfs = make([]registry.ECPointFormat, len(u))
+	for i, v := range u {
+		if v > 0xff {
+			return nil, nil, nil, nil, fmt.Errorf("fingerprint: point format %04x exceeds a byte", v)
+		}
+		pfs[i] = registry.ECPointFormat(v)
+	}
+	return suites, exts, curves, pfs, nil
+}
+
+// parseHexList decodes one "tag:xxxx,xxxx,..." section. An empty list after
+// the tag is valid (FromParts emits nothing between tag and separator).
+func parseHexList(section, tag string) ([]uint16, error) {
+	rest, ok := strings.CutPrefix(section, tag)
+	if !ok {
+		return nil, fmt.Errorf("fingerprint: section %q does not start with %q", section, tag)
+	}
+	if rest == "" {
+		return nil, nil
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]uint16, len(parts))
+	for i, p := range parts {
+		// Canonical fingerprints print %04x — fixed-width lowercase hex.
+		if len(p) != 4 || p != strings.ToLower(p) {
+			return nil, fmt.Errorf("fingerprint: malformed code point %q in %s section", p, tag)
+		}
+		v, err := strconv.ParseUint(p, 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint: malformed code point %q in %s section", p, tag)
+		}
+		out[i] = uint16(v)
+	}
+	return out, nil
+}

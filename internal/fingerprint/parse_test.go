@@ -1,0 +1,98 @@
+package fingerprint
+
+import (
+	"reflect"
+	"testing"
+
+	"tlsage/internal/registry"
+)
+
+// TestParseRoundTrip: Parse inverts FromParts for real hello shapes,
+// including GREASE-laden lists (stripped at fingerprint time, so the
+// canonical string round-trips exactly).
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		suites []uint16
+		exts   []registry.ExtensionID
+		curves []registry.CurveID
+		pfs    []registry.ECPointFormat
+	}{
+		{
+			suites: []uint16{0xc02f, 0xc030, 0x009c, 0x00ff},
+			exts:   []registry.ExtensionID{registry.ExtServerName, registry.ExtSessionTicket},
+			curves: []registry.CurveID{registry.CurveX25519, registry.CurveSecp256r1},
+			pfs:    []registry.ECPointFormat{0},
+		},
+		{ // GREASE in every list
+			suites: []uint16{0x0a0a, 0xc02f},
+			exts:   []registry.ExtensionID{0x1a1a, registry.ExtServerName},
+			curves: []registry.CurveID{0x2a2a, registry.CurveX25519},
+			pfs:    []registry.ECPointFormat{0, 1},
+		},
+		{ // empty feature lists
+			suites: []uint16{0x009c},
+		},
+		{},
+	}
+	for i, c := range cases {
+		fp := FromParts(c.suites, c.exts, c.curves, c.pfs)
+		suites, exts, curves, pfs, err := Parse(string(fp))
+		if err != nil {
+			t.Fatalf("case %d: Parse(%q): %v", i, fp, err)
+		}
+		if re := FromParts(suites, exts, curves, pfs); re != fp {
+			t.Fatalf("case %d: round trip %q -> %q", i, fp, re)
+		}
+		wantSuites := registry.StripGREASE16(c.suites)
+		if len(wantSuites) != len(suites) || (len(suites) > 0 && !reflect.DeepEqual(suites, wantSuites)) {
+			t.Fatalf("case %d: suites %v, want %v", i, suites, wantSuites)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"cs:|ext:|grp:",             // three sections
+		"cs:|ext:|grp:|pf:|x:",      // five sections
+		"xx:|ext:|grp:|pf:",         // wrong tag
+		"cs:c02f|ext:ZZZZ|grp:|pf:", // non-hex
+		"cs:c02f|ext:C02F|grp:|pf:", // uppercase (not canonical)
+		"cs:c2f|ext:|grp:|pf:",      // short code point
+		"cs:c02f,|ext:|grp:|pf:",    // trailing comma
+		"cs:|ext:|grp:|pf:c02f",     // point format over a byte
+		"cs:c02fc030|ext:|grp:|pf:", // missing comma
+		"cs: c02f|ext:|grp:|pf:",    // stray space
+	} {
+		if _, _, _, _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+// FuzzFingerprintParse: arbitrary bytes never panic the parser, and any
+// accepted string re-emits and re-parses stably (parse∘emit is a
+// retraction onto canonical fingerprints).
+func FuzzFingerprintParse(f *testing.F) {
+	f.Add("")
+	f.Add("cs:|ext:|grp:|pf:")
+	f.Add(string(FromParts(
+		[]uint16{0xc02f, 0x009c, 0x0a0a},
+		[]registry.ExtensionID{registry.ExtServerName},
+		[]registry.CurveID{registry.CurveX25519},
+		[]registry.ECPointFormat{0})))
+	f.Fuzz(func(t *testing.T, s string) {
+		suites, exts, curves, pfs, err := Parse(s)
+		if err != nil {
+			return
+		}
+		fp := FromParts(suites, exts, curves, pfs)
+		s2, e2, c2, p2, err := Parse(string(fp))
+		if err != nil {
+			t.Fatalf("re-emitted fingerprint %q failed to parse: %v", fp, err)
+		}
+		if re := FromParts(s2, e2, c2, p2); re != fp {
+			t.Fatalf("unstable round trip: %q -> %q", fp, re)
+		}
+	})
+}

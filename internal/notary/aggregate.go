@@ -50,6 +50,16 @@ type MonthStats struct {
 
 	// Distinct fingerprints and their capability flags (Figure 4).
 	FPs map[string]*FPCaps
+
+	// Connections per fingerprint (§4 attribution). Unlike FPs (distinct
+	// fingerprints + capabilities), this is the per-month volume counter the
+	// fp: query family reads.
+	ByFingerprint map[string]int
+
+	// Connections per attributed client class (Table 2), keyed by the
+	// clientdb class name. Only filled when the owning aggregate has a
+	// Classifier; unattributed fingerprints count nowhere.
+	ByClientClass map[string]int
 }
 
 // FPCaps records the suite classes a fingerprint's cipher list contains.
@@ -61,17 +71,19 @@ type FPCaps struct {
 // newMonthStats allocates the counter maps.
 func newMonthStats(m timeline.Month) *MonthStats {
 	return &MonthStats{
-		Month:        m,
-		ByVersion:    make(map[registry.Version]int),
-		ByClass:      make(map[string]int),
-		ByKex:        make(map[registry.KeyExchange]int),
-		BySuite:      make(map[uint16]int),
-		ByCurve:      make(map[registry.CurveID]int),
-		TLS13Variant: make(map[registry.Version]int),
-		ByExtension:  make(map[registry.ExtensionID]int),
-		PosSum:       make(map[string]float64),
-		PosCount:     make(map[string]int),
-		FPs:          make(map[string]*FPCaps),
+		Month:         m,
+		ByVersion:     make(map[registry.Version]int),
+		ByClass:       make(map[string]int),
+		ByKex:         make(map[registry.KeyExchange]int),
+		BySuite:       make(map[uint16]int),
+		ByCurve:       make(map[registry.CurveID]int),
+		TLS13Variant:  make(map[registry.Version]int),
+		ByExtension:   make(map[registry.ExtensionID]int),
+		PosSum:        make(map[string]float64),
+		PosCount:      make(map[string]int),
+		FPs:           make(map[string]*FPCaps),
+		ByFingerprint: make(map[string]int),
+		ByClientClass: make(map[string]int),
 	}
 }
 
@@ -91,6 +103,20 @@ func (ms *MonthStats) PctEstablished(n int) float64 {
 	return 100 * float64(n) / float64(ms.Established)
 }
 
+// Classifier attributes a fingerprint to a client class (Table 2). It is an
+// interface — not a concrete DB — because internal/fingerprint already
+// imports notary; the fingerprint.DB satisfies it from the other side of the
+// dependency edge.
+//
+// The method must be pure with respect to aggregate content: two aggregates
+// built from the same records under the same classifier must be equal, so
+// Merge never re-classifies.
+type Classifier interface {
+	// ClassOf returns the client-class name for a fingerprint string, or
+	// ok=false when the fingerprint is not in the database.
+	ClassOf(fp string) (class string, ok bool)
+}
+
 // Aggregate is a streaming monthly aggregator: feed it Records in any order
 // and read per-month statistics back.
 type Aggregate struct {
@@ -98,6 +124,12 @@ type Aggregate struct {
 	// FP lifetime tracking for §4.1.
 	fpFirst, fpLast map[string]timeline.Date
 	fpConns         map[string]int64
+	// classifier attributes fingerprints to client classes at Add time. It
+	// is configuration, not content: Merge ignores the donor's classifier,
+	// and equality of aggregate *content* is unaffected by it (ByClientClass
+	// counters are content; the classifier that produced them is not
+	// serialized).
+	classifier Classifier
 	// generation counts ingested records: Add increments it and Merge folds
 	// the donor's count in. Snapshot consumers compare it to detect
 	// staleness without hashing the maps; because it tracks content rather
@@ -116,6 +148,14 @@ func NewAggregate() *Aggregate {
 		fpConns: make(map[string]int64),
 	}
 }
+
+// SetClassifier installs (or clears, with nil) the fingerprint→class
+// attribution used by Add. Install it before ingesting: records added while
+// no classifier is set are never re-attributed.
+func (a *Aggregate) SetClassifier(c Classifier) { a.classifier = c }
+
+// Classifier returns the installed classifier, nil when attribution is off.
+func (a *Aggregate) Classifier() Classifier { return a.classifier }
 
 // Observe ingests one record, making *Aggregate a Sink. Add copies
 // everything it keeps (counters, strings, dates — never slices), so pooled
@@ -230,6 +270,12 @@ func (a *Aggregate) Add(r *Record) {
 			}
 		}
 		a.fpConns[r.Fingerprint]++
+		ms.ByFingerprint[r.Fingerprint]++
+		if a.classifier != nil {
+			if class, ok := a.classifier.ClassOf(r.Fingerprint); ok {
+				ms.ByClientClass[class]++
+			}
+		}
 	}
 
 	// Negotiated side.
@@ -325,6 +371,12 @@ func (ms *MonthStats) merge(o *MonthStats) {
 	for k, v := range o.PosCount {
 		ms.PosCount[k] += v
 	}
+	for k, v := range o.ByFingerprint {
+		ms.ByFingerprint[k] += v
+	}
+	for k, v := range o.ByClientClass {
+		ms.ByClientClass[k] += v
+	}
 	for fp, oc := range o.FPs {
 		c, ok := ms.FPs[fp]
 		if !ok {
@@ -405,6 +457,22 @@ func (a *Aggregate) EachMonth(fn func(*MonthStats)) {
 	for _, m := range a.Months() {
 		fn(a.months[m])
 	}
+}
+
+// UpdateMonth applies fn to month m's stats, creating the month if it was
+// never observed, and advances the generation by records — the number of
+// underlying observations fn represents. It exists for studies whose data
+// arrives pre-aggregated (active scan campaigns report per-date summary
+// counters, not individual records) so they can populate an Aggregate and
+// ride the same Frame/query machinery as record streams.
+func (a *Aggregate) UpdateMonth(m timeline.Month, records uint64, fn func(*MonthStats)) {
+	ms, ok := a.months[m]
+	if !ok {
+		ms = newMonthStats(m)
+		a.months[m] = ms
+	}
+	fn(ms)
+	a.generation += records
 }
 
 // TotalRecords sums Total over all months.

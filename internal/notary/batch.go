@@ -51,9 +51,16 @@ import (
 // start with '#', record lines with a decimal year).
 const batchMagic = "TLSB"
 
-// BatchVersion is the batch wire-format version byte. Readers reject other
-// versions, so the format can evolve without silent misdecodes.
-const BatchVersion = 1
+// BatchVersion is the batch wire-format version byte written by this build.
+// Version 2 marks the generation where aggregates derive fingerprint/client
+// attribution counters from Record.Fingerprint; the record payload itself is
+// unchanged (the fingerprint was always carried), so readers accept
+// batchMinVersion through BatchVersion and reject anything newer — the
+// format can evolve without silent misdecodes.
+const BatchVersion = 2
+
+// batchMinVersion is the oldest batch version this build still reads.
+const batchMinVersion = 1
 
 // batchHeaderLen is magic + version + payload length.
 const batchHeaderLen = len(batchMagic) + 1 + 4
@@ -348,9 +355,9 @@ func ReadBatches(r io.Reader, sink Sink) (frames, records uint64, err error) {
 		if string(hdr[:4]) != batchMagic {
 			return frames, records, &BatchError{Frame: frame, Err: fmt.Errorf("bad magic %q", hdr[:4])}
 		}
-		if hdr[4] != BatchVersion {
+		if hdr[4] < batchMinVersion || hdr[4] > BatchVersion {
 			return frames, records, &BatchError{Frame: frame,
-				Err: fmt.Errorf("version %d, this build reads %d", hdr[4], BatchVersion)}
+				Err: fmt.Errorf("version %d, this build reads %d..%d", hdr[4], batchMinVersion, BatchVersion)}
 		}
 		n := binary.LittleEndian.Uint32(hdr[5:])
 		if n > maxBatchPayload {

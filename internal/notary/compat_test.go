@@ -1,0 +1,139 @@
+package notary
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tlsage/internal/registry"
+)
+
+// compatFixtureRecords builds the deterministic record stream behind the
+// recorded testdata/{snapshot,batch}_v1.bin fixtures. The fixtures were
+// written by the version-1 codecs (RECORD_COMPAT_FIXTURES=1 on the pre-bump
+// tree); regenerating them under a newer codec would defeat the point of the
+// compatibility tests, so the recorder test below is guarded.
+func compatFixtureRecords() []*Record {
+	rnd := rand.New(rand.NewSource(99))
+	all := registry.AllSuites()
+	recs := make([]*Record, 400)
+	for i := range recs {
+		recs[i] = randomRecord(rnd, all)
+	}
+	return recs
+}
+
+func compatFixtureAggregate() *Aggregate {
+	agg := NewAggregate()
+	for _, r := range compatFixtureRecords() {
+		agg.Add(r)
+	}
+	return agg
+}
+
+// TestRecordCompatFixtures re-records the version-1 fixtures. It only runs
+// when RECORD_COMPAT_FIXTURES is set and exists so the recording procedure is
+// documented in code; running it on a post-bump tree would overwrite genuine
+// v1 bytes with current-version bytes.
+func TestRecordCompatFixtures(t *testing.T) {
+	if os.Getenv("RECORD_COMPAT_FIXTURES") == "" {
+		t.Skip("set RECORD_COMPAT_FIXTURES=1 on a pre-bump tree to record")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snap := EncodeSnapshot(nil, compatFixtureAggregate())
+	if err := os.WriteFile(filepath.Join("testdata", "snapshot_v1.bin"), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	batch := EncodeBatch(compatFixtureRecords())
+	if err := os.WriteFile(filepath.Join("testdata", "batch_v1.bin"), batch, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 5 {
+		t.Fatalf("fixture %s too short (%d bytes)", name, len(b))
+	}
+	if b[4] != 1 {
+		t.Fatalf("fixture %s carries version %d, want recorded version 1", name, b[4])
+	}
+	return b
+}
+
+// TestSnapshotV1Decodes: a genuine version-1 snapshot (recorded before the
+// attribution counters existed) must decode under the version-2 reader with
+// every pre-existing counter intact and the ByFingerprint/ByClientClass maps
+// empty — an upgrade must not force a re-ingest.
+func TestSnapshotV1Decodes(t *testing.T) {
+	got, err := DecodeSnapshot(readFixture(t, "snapshot_v1.bin"))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	want := compatFixtureAggregate()
+	fpVolume := 0
+	for _, m := range want.Months() {
+		ms := want.Stats(m)
+		fpVolume += len(ms.ByFingerprint)
+		// A v1 payload carries no attribution maps; the decoder leaves them
+		// allocated but empty.
+		ms.ByFingerprint = make(map[string]int)
+		ms.ByClientClass = make(map[string]int)
+	}
+	if fpVolume == 0 {
+		t.Fatal("fixture has no fingerprint volume at all — weak fixture")
+	}
+	for _, m := range got.Months() {
+		gms := got.Stats(m)
+		if len(gms.ByFingerprint) != 0 || len(gms.ByClientClass) != 0 {
+			t.Fatalf("month %v: v1 decode invented attribution counters", m)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("v1 snapshot decode differs from replayed fixture records")
+	}
+}
+
+// TestBatchV1Decodes: a version-1 batch stream decodes under the version-2
+// reader; the record payload never changed, so ingesting it fills the new
+// attribution counters exactly as a live stream would.
+func TestBatchV1Decodes(t *testing.T) {
+	raw := readFixture(t, "batch_v1.bin")
+	got := NewAggregate()
+	frames, records, err := ReadBatches(bytes.NewReader(raw), got)
+	if err != nil {
+		t.Fatalf("v1 batch rejected: %v", err)
+	}
+	want := compatFixtureAggregate()
+	if records != uint64(want.TotalRecords()) {
+		t.Fatalf("decoded %d records from %d frames, want %d", records, frames, want.TotalRecords())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("v1 batch ingest differs from replayed fixture records")
+	}
+}
+
+// TestUnknownNewerVersionsRejected: versions beyond what this build writes
+// still fail loudly — forward compatibility is an explicit error, never a
+// misdecode.
+func TestUnknownNewerVersionsRejected(t *testing.T) {
+	snap := append([]byte(nil), readFixture(t, "snapshot_v1.bin")...)
+	snap[4] = SnapshotVersion + 1
+	if _, err := DecodeSnapshot(snap); err == nil {
+		t.Error("snapshot version beyond current accepted")
+	}
+	batch := append([]byte(nil), readFixture(t, "batch_v1.bin")...)
+	batch[4] = BatchVersion + 1
+	if _, _, err := ReadBatches(bytes.NewReader(batch), NewAggregate()); err == nil {
+		t.Error("batch version beyond current accepted")
+	}
+}

@@ -191,17 +191,25 @@ const defaultChunkSize = 1 << 20
 // chunked reader has no line-length ceiling, while the serial scanner
 // rejects lines over 4 MiB (far beyond anything LogWriter emits).
 func ReadLogParallel(r io.Reader, workers int) (*Aggregate, error) {
-	return readLogParallel(r, workers, defaultChunkSize)
+	return readLogParallel(r, workers, defaultChunkSize, nil)
+}
+
+// ReadLogParallelClassified is ReadLogParallel with a fingerprint classifier
+// installed on every shard (and the merged result), so ByClientClass fills
+// during the parallel ingest exactly as a serial classified Add would.
+func ReadLogParallelClassified(r io.Reader, workers int, c Classifier) (*Aggregate, error) {
+	return readLogParallel(r, workers, defaultChunkSize, c)
 }
 
 // readLogParallel is ReadLogParallel with the chunk size exposed, so tests
 // can sweep chunk boundaries across every record offset.
-func readLogParallel(r io.Reader, workers, chunkSize int) (*Aggregate, error) {
+func readLogParallel(r io.Reader, workers, chunkSize int, classifier Classifier) (*Aggregate, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		agg := NewAggregate()
+		agg.SetClassifier(classifier)
 		if err := ReadLog(r, agg); err != nil {
 			return nil, err
 		}
@@ -234,6 +242,7 @@ func readLogParallel(r io.Reader, workers, chunkSize int) (*Aggregate, error) {
 		go func(w int) {
 			defer wg.Done()
 			agg := NewAggregate()
+			agg.SetClassifier(classifier)
 			aggs[w] = agg
 			var rec Record
 			for c := range jobs {
@@ -328,6 +337,7 @@ func readLogParallel(r io.Reader, workers, chunkSize int) (*Aggregate, error) {
 		return nil, first.err
 	}
 	agg := NewAggregate()
+	agg.SetClassifier(classifier)
 	for _, shard := range aggs {
 		agg.Merge(shard)
 	}

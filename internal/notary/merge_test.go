@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -58,9 +59,23 @@ func randomRecord(rnd *rand.Rand, all []registry.Suite) *Record {
 	return r
 }
 
+// testClassifier is a stub notary.Classifier: fingerprints with a mapped
+// class attribute there, everything else is unknown. The merge property must
+// hold whether or not records classify, so the harness attributes roughly a
+// third of the random fingerprints.
+type testClassifier struct{ mark string }
+
+func (c testClassifier) ClassOf(fp string) (string, bool) {
+	if strings.Contains(fp, c.mark) {
+		return "Class " + c.mark, true
+	}
+	return "", false
+}
+
 // Merging aggregates built from any partition of a record stream must equal
 // the aggregate built from the whole stream — including FPDurations
-// first/last dates and the PosSum/PosCount position accumulators.
+// first/last dates, the PosSum/PosCount position accumulators, and the
+// ByFingerprint/ByClientClass attribution maps filled by a classifier.
 func TestMergeEqualsSingleStreamAdd(t *testing.T) {
 	rnd := rand.New(rand.NewSource(7))
 	all := registry.AllSuites()
@@ -69,8 +84,15 @@ func TestMergeEqualsSingleStreamAdd(t *testing.T) {
 		for i := range recs {
 			recs[i] = randomRecord(rnd, all)
 		}
+		// Half the trials attribute fingerprints, so the merge property is
+		// pinned with ByClientClass both empty and populated.
+		var cls Classifier
+		if trial%2 == 0 {
+			cls = testClassifier{mark: "a"}
+		}
 
 		want := NewAggregate()
+		want.SetClassifier(cls)
 		for _, r := range recs {
 			want.Add(r)
 		}
@@ -78,11 +100,13 @@ func TestMergeEqualsSingleStreamAdd(t *testing.T) {
 		parts := make([]*Aggregate, 1+rnd.Intn(6))
 		for i := range parts {
 			parts[i] = NewAggregate()
+			parts[i].SetClassifier(cls)
 		}
 		for _, r := range recs {
 			parts[rnd.Intn(len(parts))].Add(r)
 		}
 		got := NewAggregate()
+		got.SetClassifier(cls)
 		for _, p := range parts {
 			got.Merge(p)
 		}
@@ -114,6 +138,17 @@ func TestMergeEqualsSingleStreamAdd(t *testing.T) {
 		}
 		if !reflect.DeepEqual(want.FPDurations(), got.FPDurations()) {
 			t.Fatalf("trial %d: FPDurations differ after merge", trial)
+		}
+		if cls != nil {
+			attributed := 0
+			for _, m := range want.Months() {
+				for _, n := range want.Stats(m).ByClientClass {
+					attributed += n
+				}
+			}
+			if attributed == 0 {
+				t.Fatalf("trial %d: classified trial attributed nothing — vacuous", trial)
+			}
 		}
 	}
 }

@@ -80,7 +80,7 @@ func TestReadLogParallelMatchesSerial(t *testing.T) {
 		chunkSizes = append(chunkSizes, 1+rnd.Intn(2000))
 	}
 	for _, cs := range chunkSizes {
-		got, err := readLogParallel(bytes.NewReader(log), 4, cs)
+		got, err := readLogParallel(bytes.NewReader(log), 4, cs, nil)
 		if err != nil {
 			t.Fatalf("chunkSize=%d: %v", cs, err)
 		}
@@ -92,7 +92,7 @@ func TestReadLogParallelMatchesSerial(t *testing.T) {
 func TestReadLogParallelNoTrailingNewline(t *testing.T) {
 	log, want := buildCorpus(t, 11, 40)
 	trimmed := bytes.TrimSuffix(log, []byte("\n"))
-	got, err := readLogParallel(bytes.NewReader(trimmed), 4, 256)
+	got, err := readLogParallel(bytes.NewReader(trimmed), 4, 256, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestReadLogParallelErrorParity(t *testing.T) {
 		}
 		for _, workers := range []int{2, 4, 16} {
 			for _, cs := range []int{7, 100, 1 << 12, 1 << 22} {
-				agg, err := readLogParallel(bytes.NewReader(bad), workers, cs)
+				agg, err := readLogParallel(bytes.NewReader(bad), workers, cs, nil)
 				if err == nil {
 					t.Fatalf("corrupt@%d workers=%d chunk=%d: parallel reader accepted the line", at, workers, cs)
 				}
@@ -140,7 +140,7 @@ func TestReadLogParallelErrorParity(t *testing.T) {
 	multiLines := bytes.Split(multi, []byte("\n"))
 	multi = corrupt(multiLines, 250)
 	serialErr := ReadLog(bytes.NewReader(multi), NewAggregate())
-	par, err := readLogParallel(bytes.NewReader(multi), 8, 64)
+	par, err := readLogParallel(bytes.NewReader(multi), 8, 64, nil)
 	if err == nil || par != nil {
 		t.Fatal("double-corrupt log accepted")
 	}
@@ -173,7 +173,7 @@ func TestReadLogParallelCommentsAndCRLF(t *testing.T) {
 	if err := ReadLog(strings.NewReader(decorated.String()), want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readLogParallel(strings.NewReader(decorated.String()), 4, 300)
+	got, err := readLogParallel(strings.NewReader(decorated.String()), 4, 300, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestReadLogParallelEndToEndDates(t *testing.T) {
 	if err := ReadLog(bytes.NewReader(buf.Bytes()), want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readLogParallel(bytes.NewReader(buf.Bytes()), 3, 128)
+	got, err := readLogParallel(bytes.NewReader(buf.Bytes()), 3, 128, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,9 +42,16 @@ import (
 // snapshotMagic brands snapshot files/streams.
 const snapshotMagic = "TLSN"
 
-// SnapshotVersion is the wire-format version byte. Readers reject other
-// versions, so the format can evolve without silent misdecodes.
-const SnapshotVersion = 1
+// SnapshotVersion is the wire-format version byte written by this build.
+// Version 2 appended the per-month ByFingerprint/ByClientClass attribution
+// maps after the FPs table. Readers accept snapshotMinVersion through
+// SnapshotVersion — a version-1 snapshot still decodes, with the attribution
+// maps left empty — and reject anything newer, so the format can evolve
+// without silent misdecodes.
+const SnapshotVersion = 2
+
+// snapshotMinVersion is the oldest snapshot version this build still reads.
+const snapshotMinVersion = 1
 
 // snapshotHeaderLen is magic + version + payload length.
 const snapshotHeaderLen = len(snapshotMagic) + 1 + 8
@@ -85,9 +92,11 @@ func ReadSnapshot(r io.Reader) (*Aggregate, error) {
 	if string(hdr[:4]) != snapshotMagic {
 		return nil, fmt.Errorf("notary: not a snapshot (bad magic %q)", hdr[:4])
 	}
-	if hdr[4] != SnapshotVersion {
-		return nil, fmt.Errorf("notary: snapshot version %d, this build reads %d", hdr[4], SnapshotVersion)
+	if hdr[4] < snapshotMinVersion || hdr[4] > SnapshotVersion {
+		return nil, fmt.Errorf("notary: snapshot version %d, this build reads %d..%d",
+			hdr[4], snapshotMinVersion, SnapshotVersion)
 	}
+	version := hdr[4]
 	n := binary.LittleEndian.Uint64(hdr[5:])
 	if n > maxSnapshotPayload {
 		return nil, fmt.Errorf("notary: implausible snapshot payload length %d", n)
@@ -106,7 +115,7 @@ func ReadSnapshot(r io.Reader) (*Aggregate, error) {
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(trailer); got != want {
 		return nil, fmt.Errorf("notary: snapshot checksum mismatch (%08x, want %08x)", got, want)
 	}
-	return decodeSnapshotPayload(payload)
+	return decodeSnapshotPayload(payload, version)
 }
 
 // DecodeSnapshot decodes one framed snapshot from b (exactly one frame; no
@@ -302,7 +311,9 @@ func appendMonthStats(dst []byte, ms *MonthStats) []byte {
 		dst = append(dst, fpCapsByte(caps))
 		dst = appendCount(dst, caps.Count)
 	}
-	return dst
+	// Version 2: per-month attribution maps.
+	dst = appendStrIntMap(dst, ms.ByFingerprint)
+	return appendStrIntMap(dst, ms.ByClientClass)
 }
 
 // --- payload decoding ---
@@ -458,13 +469,13 @@ func (d *snapDecoder) strIntMap() map[string]int {
 	return m
 }
 
-func decodeSnapshotPayload(b []byte) (*Aggregate, error) {
+func decodeSnapshotPayload(b []byte, version byte) (*Aggregate, error) {
 	d := &snapDecoder{b: b}
 	a := NewAggregate()
 	a.generation = d.uvarint()
 	nMonths := d.length(4)
 	for i := 0; i < nMonths && d.err == nil; i++ {
-		ms := decodeMonthStats(d)
+		ms := decodeMonthStats(d, version)
 		if d.err != nil {
 			break
 		}
@@ -500,7 +511,7 @@ func decodeSnapshotPayload(b []byte) (*Aggregate, error) {
 	return a, nil
 }
 
-func decodeMonthStats(d *snapDecoder) *MonthStats {
+func decodeMonthStats(d *snapDecoder, version byte) *MonthStats {
 	year := d.count()
 	month := d.count()
 	if d.err == nil && (month < 1 || month > 12) {
@@ -542,6 +553,10 @@ func decodeMonthStats(d *snapDecoder) *MonthStats {
 			break
 		}
 		ms.FPs[fp] = fpCapsFromByte(flags, count)
+	}
+	if version >= 2 {
+		ms.ByFingerprint = d.strIntMap()
+		ms.ByClientClass = d.strIntMap()
 	}
 	return ms
 }

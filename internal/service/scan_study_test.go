@@ -1,0 +1,127 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tlsage/internal/core"
+	"tlsage/internal/scanner"
+	"tlsage/internal/timeline"
+)
+
+// scanReport hand-builds one campaign report — no TCP farm, so the e2e test
+// exercises exactly the study/query plumbing, deterministically.
+func scanReport(hosts, ssl3, answered, rc4, cbc, tdes, hbAck, rc4only, export, vuln int) *core.CampaignReport {
+	return &core.CampaignReport{
+		Hosts: hosts,
+		Probes: map[string]scanner.Summary{
+			"ssl3only":   {Answered: ssl3},
+			"chrome2015": {Answered: answered, ChoseRC4: rc4, ChoseCBC: cbc, Chose3DES: tdes, HeartbeatAck: hbAck},
+			"rc4only":    {Answered: rc4only},
+			"exportonly": {ChoseExport: export},
+		},
+		VulnerableHosts: vuln,
+	}
+}
+
+// TestScanStudyOnRouter is the e2e acceptance check for hosted scan
+// campaigns: a sweep's reports fold into a core.NewScanStudy, mount on the
+// Router next to a passive study, and POST /studies/scan/query answers the
+// campaign metrics through the same Frame/Expr pipeline — each queried value
+// equal to the corresponding CampaignReport percentage method.
+func TestScanStudyOnRouter(t *testing.T) {
+	months := []timeline.Month{
+		timeline.M(2015, time.September),
+		timeline.M(2016, time.June),
+		timeline.M(2018, time.May),
+	}
+	reports := []*core.CampaignReport{
+		scanReport(200, 90, 180, 22, 108, 1, 68, 38, 56, 3),
+		scanReport(150, 55, 140, 12, 70, 1, 48, 21, 30, 1),
+		scanReport(180, 45, 175, 6, 63, 0, 61, 34, 2, 0),
+	}
+	study, err := core.NewScanStudy(months, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := NewRouter()
+	if err := rt.Add("passive", NewServer(core.NewLiveStudy())); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Add("scan", NewServer(study)); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Every sweep metric, as a query over the scan study's counters, must
+	// reproduce the CampaignReport percentage it was folded from.
+	series := []struct {
+		query string
+		want  func(r *core.CampaignReport) float64
+	}{
+		{"pct(version:ssl3 / total)", (*core.CampaignReport).SSL3SupportPct},
+		{"pct(class:rc4 / total)", (*core.CampaignReport).RC4ChosenPct},
+		{"pct(class:cbc / total)", (*core.CampaignReport).CBCChosenPct},
+		{"pct(class:3des / total)", (*core.CampaignReport).TDESChosenPct},
+		{"pct(adv-rc4 / total)", (*core.CampaignReport).RC4SupportPct},
+		{"pct(adv-export / total)", (*core.CampaignReport).ExportSupportPct},
+		{"pct(offers-heartbeat / total)", (*core.CampaignReport).HeartbeatSupportPct},
+		{"pct(heartbeat-ack / total)", (*core.CampaignReport).HeartbleedVulnerablePct},
+	}
+	for _, tc := range series {
+		res, _ := postQuery(t, ts.URL+"/studies/scan/query", tc.query)
+		if len(res.Series.Points) != len(months) {
+			t.Fatalf("%q: %d points, want %d", tc.query, len(res.Series.Points), len(months))
+		}
+		for i, p := range res.Series.Points {
+			if want := tc.want(reports[i]); p.Value != want {
+				t.Errorf("%q month %v: got %v, want %v", tc.query, months[i], p.Value, want)
+			}
+		}
+	}
+
+	// Scalar shape over the mounted study: the Sep 2015 RC4 selection rate.
+	res, _ := postQuery(t, ts.URL+"/studies/scan/query", "at(pct(class:rc4 / total), 2015-09)")
+	if want := reports[0].RC4ChosenPct(); res.Value != want {
+		t.Errorf("at() scalar: got %v, want %v", res.Value, want)
+	}
+
+	// The mounted study serves the standard healthz, including the fp: family
+	// gauges (all zero here: scan campaigns carry no client fingerprints).
+	resp, err := http.Get(ts.URL + "/studies/scan/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %v: %s", resp.StatusCode, err, raw)
+	}
+	var health struct {
+		Records      int `json:"records"`
+		Fingerprints *struct {
+			Distinct   int     `json:"distinct"`
+			TopK       int     `json:"top_k"`
+			OtherShare float64 `json:"other_share"`
+		} `json:"fingerprints"`
+	}
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatalf("healthz decode: %v\n%s", err, raw)
+	}
+	if health.Records != 200+150+180 {
+		t.Errorf("healthz records = %d, want %d", health.Records, 200+150+180)
+	}
+	if health.Fingerprints == nil {
+		t.Fatalf("healthz missing fingerprints gauges: %s", raw)
+	}
+	if health.Fingerprints.Distinct != 0 || health.Fingerprints.TopK <= 0 {
+		t.Errorf("fingerprint gauges = %+v", *health.Fingerprints)
+	}
+}

@@ -408,7 +408,7 @@ func newShardIngester(study *core.Study, every int, tee *notary.LockedSink) *sha
 	if every <= 0 {
 		every = DefaultFlushEvery
 	}
-	return &shardIngester{study: study, shard: notary.NewAggregate(), every: every, tee: tee}
+	return &shardIngester{study: study, shard: study.NewShard(), every: every, tee: tee}
 }
 
 // Observe implements notary.Sink: records land in the private shard, with
@@ -443,7 +443,7 @@ func (si *shardIngester) flush() error {
 			// The shed shard never reaches the study: report only applied
 			// records so the feeder can tell whether a retry would duplicate.
 			si.total -= si.since
-			si.shard = notary.NewAggregate()
+			si.shard = si.study.NewShard()
 			si.since = 0
 			return err
 		}
@@ -455,7 +455,7 @@ func (si *shardIngester) flush() error {
 			si.onFlush()
 		}
 	}
-	si.shard = notary.NewAggregate()
+	si.shard = si.study.NewShard()
 	si.since = 0
 	return nil
 }
@@ -736,6 +736,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Gauges are cache-wide: with a Router-shared cache every study
 		// reports the same numbers, which is what capacity planning wants.
 		health["query_cache"] = s.queryCache.Stats()
+	}
+	// fp: family gauges, off the study's cached frame (rebuilt only when the
+	// generation moved): distinct fingerprints seen, the per-frame column cap,
+	// and the share of fingerprinted volume folded into the "other" bucket.
+	if f, err := s.study.Frame(); err == nil {
+		distinct, topK, otherShare := f.FingerprintGauges()
+		health["fingerprints"] = map[string]any{
+			"distinct":    distinct,
+			"top_k":       topK,
+			"other_share": otherShare,
+		}
 	}
 	writeJSON(w, http.StatusOK, health)
 }

@@ -633,3 +633,77 @@ func TestQueryCacheEndToEnd(t *testing.T) {
 		t.Errorf("unrun study query status %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestQueryAttributionFamiliesServed runs the fp:/agent: column families end
+// to end through the served query path: a live study ingests the shared TSV
+// log (classifying each record at ingest), and every attribution query must
+// answer byte-identically to the offline reference study built from the same
+// log — on the first (miss) response AND the repeated (cache hit) response.
+func TestQueryAttributionFamiliesServed(t *testing.T) {
+	log, offline := sharedLog(t)
+
+	cache := analysis.NewQueryCache(128, 1<<20)
+	srv := NewServer(core.NewLiveStudy(), WithQueryCache(cache, "attrib"))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "text/tab-separated-values", bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	queries := []string{
+		"pct(agent:libraries / fp-conns)",
+		"over(agent:* / fp-conns)",
+		"count(fp:other)",
+		"pct(fp:* / established)",
+	}
+	for _, src := range queries {
+		parsed, err := analysis.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := offline.QueryExpr(parsed)
+		if err != nil {
+			t.Fatalf("%s offline: %v", src, err)
+		}
+		wantBody := encodeLikeServer(t, want)
+
+		post := func() (http.Header, []byte) {
+			t.Helper()
+			body, _ := json.Marshal(map[string]string{"query": src})
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", src, resp.StatusCode, raw)
+			}
+			return resp.Header, raw
+		}
+		h1, body1 := post()
+		if h1.Get("X-Cache") != "miss" {
+			t.Fatalf("%s: first query X-Cache=%q, want miss", src, h1.Get("X-Cache"))
+		}
+		if !bytes.Equal(body1, wantBody) {
+			t.Errorf("%s: served body diverges from the offline study.\nserved:  %s\noffline: %s",
+				src, body1, wantBody)
+		}
+		h2, body2 := post()
+		if h2.Get("X-Cache") != "hit" {
+			t.Fatalf("%s: repeat query X-Cache=%q, want hit", src, h2.Get("X-Cache"))
+		}
+		if !bytes.Equal(body2, body1) {
+			t.Errorf("%s: cache hit body differs from the miss body", src)
+		}
+	}
+}
