@@ -6,7 +6,7 @@
 //
 //	tlstrend simulate   [-conns N] [-seed S] [-workers W] [-out conn.log]   run the passive study, optionally writing a TSV log
 //	tlstrend loadlog    [-in conn.log] [-workers W] [-figure N] [-chart]    post-hoc analysis of a TSV log (sharded parse)
-//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-queue-bound N] [-query-cache N]  live notary service: TSV + binary-batch ingest, JSON query endpoints, durable snapshots, restart recovery, cached queries
+//	tlstrend serve      [-http ADDR] [-tcp ADDR] [-out conn.log] [-studies a,b] [-snapshot-dir DIR] [-max-inflight N] [-queue-bound N] [-query-cache N] [-upstream URL [-push-interval D] [-push-source S]] [-union ID]  live notary service: TSV + binary-batch ingest, JSON query endpoints, durable snapshots, restart recovery, cached queries; -upstream turns the node into an edge collector pushing aggregate deltas, -union hosts a federated union study
 //	tlstrend feed       [-addr URL | -tcp ADDR] [-in conn.log | -conns N] [-binary [-batch N]] [-retry N]  stream a log or a live simulation into a server
 //	tlstrend query      -q EXPR [-in conn.log | -conns N | -addr URL [-study ID]]  evaluate a metric expression offline or remotely
 //	                    (column families include fp:<id12|other> top-K fingerprints and agent:<class> client attribution)
@@ -16,7 +16,7 @@
 //	tlstrend table      [-n N]                                 print Table 1, 3, 4, 5 or 6
 //	tlstrend table2     [-conns N]                             print the Table 2 reproduction
 //	tlstrend scan       [-hosts N] [-date YYYY-MM-DD]          run an active scan campaign over a local farm
-//	tlstrend scansweep  [-hosts N] [-step M] [-alexa] [-serve ADDR]  campaigns across the Censys window, optionally hosted as a queryable study
+//	tlstrend scansweep  [-hosts N] [-step M] [-alexa] [-serve ADDR] [-push URL]  campaigns across the Censys window, hosted as a queryable study and/or pushed to a core's /merge
 //	tlstrend fingerprints [-conns N]                           fingerprint DB summary and §4.1 lifetimes
 //	tlstrend extensions [-conns N] [-chart]                    extension uptake + TLS 1.3 variants
 //	tlstrend experiments [-conns N] [-hosts N]                 full paper-vs-measured report
@@ -25,13 +25,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -39,6 +42,7 @@ import (
 
 	"tlsage/internal/analysis"
 	"tlsage/internal/core"
+	"tlsage/internal/federation"
 	"tlsage/internal/notary"
 	"tlsage/internal/service"
 	"tlsage/internal/simulate"
@@ -102,7 +106,9 @@ func usage() {
 commands:
   simulate      run the passive Notary study (optionally write a TSV log)
   loadlog       rebuild the study from a TSV log (post-hoc, sharded parsing)
-  serve         run the live notary service: ingest TSV or binary-batch streams, serve JSON queries
+  serve         run the live notary service: ingest TSV or binary-batch streams, serve JSON queries;
+                -upstream pushes merged shards upstream as aggregate deltas (edge collector),
+                -union hosts a study that is the live union of every hosted study
   feed          stream a log or a live simulation into a running server (TSV or -binary batch frames)
   query         evaluate a metric expression (see README grammar) offline or against a server;
                 families span versions, ciphers, curves, extensions, and the attribution
@@ -114,7 +120,8 @@ commands:
   table2        print the Table 2 fingerprint-summary reproduction
   scan          run an active Censys-style campaign over a local TCP farm
   scansweep     run campaigns across Aug 2015 – May 2018 (the Censys window);
-                -serve hosts the results as study 'scan' on the query/figure API
+                -serve hosts the results as study 'scan' on the query/figure API,
+                -push ships them to a running core's POST /merge as one delta
   fingerprints  fingerprint database summary and §4.1 lifetime stats
   extensions    extension-uptake figure (RIE, EtM, EMS, ...) and TLS 1.3 variants
   experiments   full paper-vs-measured report (passive + active + fingerprints)
@@ -242,6 +249,10 @@ func cmdServe(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "idle read deadline on raw-TCP ingest connections (0 = none)")
 	cacheEntries := fs.Int("query-cache", 1024, "query result cache entries, shared across studies (0 = disable caching)")
 	cacheBytes := fs.Int64("query-cache-bytes", 8<<20, "approximate byte budget for the query result cache")
+	upstream := fs.String("upstream", "", "edge mode: push the default study's merged shards as delta frames to this upstream study URL (POST {url}/merge)")
+	pushInterval := fs.Duration("push-interval", federation.DefaultPushInterval, "delta push cadence in edge mode")
+	pushSource := fs.String("push-source", "", "source name for pushed deltas (default: the default study id)")
+	unionID := fs.String("union", "", "also host a union study under this id, federating every hosted study")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -281,6 +292,74 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	// Edge mode: the pusher is built BEFORE the ingest log is reopened below
+	// — with snapshots, OpenIngestLog truncates-and-rebases the previous
+	// run's log, and the unshipped tail (records past the persisted
+	// shipped-through cursor) must be replayed out of it first.
+	var pusher *federation.Pusher
+	if *upstream != "" {
+		src := *pushSource
+		if src == "" {
+			src = strings.TrimSpace(strings.Split(*studies, ",")[0])
+		}
+		statePath := ""
+		if *snapDir != "" {
+			statePath = filepath.Join(*snapDir, "shipped.gen")
+		}
+		var shipped uint64
+		if statePath != "" {
+			var err error
+			if shipped, err = federation.LoadShippedState(statePath); err != nil {
+				return err
+			}
+		}
+		_, _, recoveredGen, err := defaultStudy.Counts()
+		if err != nil {
+			return err
+		}
+		if shipped > recoveredGen {
+			fmt.Fprintf(os.Stderr,
+				"warning: upstream was acked through generation %d but only %d recovered locally; the upstream keeps the difference\n",
+				shipped, recoveredGen)
+		}
+		var initial *notary.Aggregate
+		var rebase func(uint64) (*notary.Aggregate, error)
+		if *outPath != "" {
+			rebase = func(from uint64) (*notary.Aggregate, error) {
+				return replayUnshipped(defaultStudy, *outPath, from)
+			}
+			if shipped < recoveredGen {
+				if initial, err = replayUnshipped(defaultStudy, *outPath, shipped); err != nil {
+					return fmt.Errorf("replaying unshipped records for federation: %w", err)
+				}
+				if initial != nil && initial.Generation() > 0 {
+					fmt.Fprintf(os.Stderr, "federation: %d recovered records past the shipped cursor (%d) queued for push\n",
+						initial.Generation(), shipped)
+				}
+			}
+		} else if shipped < recoveredGen {
+			fmt.Fprintf(os.Stderr,
+				"warning: %d recovered records past the shipped cursor cannot be rebuilt without -out; they will not be pushed\n",
+				recoveredGen-shipped)
+		}
+		pusher, err = federation.NewPusher(federation.PusherOptions{
+			Source:    src,
+			Upstream:  *upstream,
+			Interval:  *pushInterval,
+			Shipped:   shipped,
+			Initial:   initial,
+			StatePath: statePath,
+			Rebase:    rebase,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "edge mode: pushing deltas for source %q to %s every %v\n", src, *upstream, *pushInterval)
+	}
+
 	var logFile *os.File
 	rt := service.NewRouter()
 	var srv *service.Server // the default study's server (TCP ingest, -out tee)
@@ -299,6 +378,9 @@ func cmdServe(args []string) error {
 		study := core.NewLiveStudy()
 		if i == 0 {
 			study = defaultStudy
+			if pusher != nil {
+				opts = append(opts, service.WithPusher(pusher))
+			}
 			if *outPath != "" {
 				// With snapshots the log restarts behind a #base directive
 				// (the compaction above covers it); without, it appends so
@@ -329,6 +411,19 @@ func cmdServe(args []string) error {
 		}
 		if i == 0 {
 			srv = s
+		}
+	}
+	if *unionID != "" {
+		uopts := []service.Option{
+			service.WithMaxInFlight(*maxInflight),
+			service.WithMaxBodyBytes(*maxBody),
+		}
+		if queryCache != nil {
+			uopts = append(uopts, service.WithQueryCache(queryCache, *unionID))
+		}
+		us := service.NewServer(core.NewLiveStudy(), uopts...)
+		if err := rt.Union(*unionID, us, rt.IDs()...); err != nil {
+			return err
 		}
 	}
 
@@ -392,6 +487,33 @@ func cmdServe(args []string) error {
 		}
 	}
 	return runErr
+}
+
+// replayUnshipped rebuilds the merged contribution of the -out log's
+// records past the shipped-through generation: the edge's durable source of
+// truth for federation recovery (startup Initial) and 409 rebasing. Shards
+// come from the study so client attribution matches the live ingest path. A
+// torn final line (crash mid-write) keeps the valid prefix with a warning —
+// the same tolerance snapshot recovery applies.
+func replayUnshipped(study *core.Study, path string, from uint64) (*notary.Aggregate, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	shard := study.NewShard()
+	if _, _, err := notary.ReadLogTail(f, from, shard); err != nil {
+		var le *notary.LineError
+		if !errors.As(err, &le) {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "warning: replaying %s past generation %d: %v (keeping the valid prefix)\n",
+			path, from, err)
+	}
+	return shard, nil
 }
 
 // cmdFeed streams records into a running serve instance: either a replay of
@@ -818,6 +940,8 @@ func cmdScanSweep(args []string) error {
 	seed := fs.Int64("seed", 7, "population seed")
 	alexa := fs.Bool("alexa", false, "popularity-weighted (Alexa-style) universe")
 	serveAddr := fs.String("serve", "", "after the sweep, host the results as study 'scan' at this HTTP address")
+	pushURL := fs.String("push", "", "POST the sweep as one pre-aggregated delta to this core study URL ({url}/merge)")
+	pushSource := fs.String("push-source", "scansweep", "delta source name for -push; re-pushing the same campaign from the same source is an idempotent no-op, a different campaign needs a distinct source")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -834,6 +958,26 @@ func cmdScanSweep(args []string) error {
 	}
 	if err := core.RenderSweep(os.Stdout, core.SweepPoints(months, reports)); err != nil {
 		return err
+	}
+	if *pushURL != "" {
+		// Federated form of -serve: fold the campaign into a bare aggregate
+		// and ship it to a running core's /merge endpoint as one delta, where
+		// it answers the same queries without the core re-running the sweep.
+		agg, err := core.ScanAggregate(months, reports)
+		if err != nil {
+			return err
+		}
+		ack, err := federation.PushDelta(*pushURL, &federation.Delta{Source: *pushSource, Agg: agg}, nil)
+		if err != nil {
+			return err
+		}
+		if ack.Duplicate {
+			fmt.Fprintf(os.Stderr, "upstream %s had already applied this campaign (source %q); nothing re-counted\n",
+				*pushURL, *pushSource)
+		} else {
+			fmt.Fprintf(os.Stderr, "pushed %d campaign records to %s (upstream generation %d)\n",
+				ack.Records, *pushURL, ack.Generation)
+		}
 	}
 	if *serveAddr == "" {
 		return nil

@@ -88,6 +88,39 @@ type Study struct {
 	// testComputeHook, when non-nil (set by tests before any queries), runs
 	// at the start of every leader computation.
 	testComputeHook func()
+
+	// planMu guards the compiled-plan memo: plans keyed by (cache epoch,
+	// frame fingerprint, canonical query text), so a repeated ad-hoc query
+	// that misses the result cache — evicted entry, or no result cache at
+	// all — pays only evaluation while the frame is unchanged. A moving
+	// study changes the fingerprint with every merge, which makes stale
+	// plans (bound to the old frame's column slices) unreachable without an
+	// invalidation hook; the epoch keeps keys disjoint across Run/LoadLog
+	// swaps, whose rebuilt aggregate can collide on (generation, layout)
+	// with different contents. Entries age out FIFO past
+	// maxPlanMemoEntries.
+	planMu    sync.Mutex
+	planMemo  map[planKey]*analysis.Plan
+	planOrder []planKey
+	// planCompiles counts actual analysis.Compile calls (memo misses);
+	// the memo tests pin it. compiles above keeps its original meaning —
+	// compute runs, hit or miss in the plan memo — so the singleflight
+	// accounting is unchanged.
+	planCompiles atomic.Uint64
+}
+
+// maxPlanMemoEntries bounds the compiled-plan memo. Plans are small (a few
+// slices of frame-length ints, usually shared with the frame itself), so
+// the bound is about key churn on a moving study, not memory: each merge
+// changes the fingerprint and strands the previous generation's entries
+// until FIFO eviction reclaims them.
+const maxPlanMemoEntries = 256
+
+// planKey addresses one memoized plan.
+type planKey struct {
+	epoch       uint64
+	fingerprint uint64
+	query       string
 }
 
 // flightKey coordinates one in-flight computation; it mirrors the cache key
@@ -515,7 +548,10 @@ func (s *Study) computeQuery(e *analysis.Expr, cache *analysis.QueryCache, id, k
 	if err != nil {
 		return analysis.QueryResult{}, nil, 0, err
 	}
-	p, err := analysis.Compile(e, f)
+	if key == "" {
+		key = e.String() // cache-less path: canonicalize for the plan memo
+	}
+	p, err := s.compiledPlan(e, f, epoch, key)
 	if err != nil {
 		return analysis.QueryResult{}, nil, 0, err
 	}
@@ -530,6 +566,47 @@ func (s *Study) computeQuery(e *analysis.Expr, cache *analysis.QueryCache, id, k
 	}
 	return res, body, f.Generation(), nil
 }
+
+// compiledPlan returns a plan for e bound to f, from the memo when a valid
+// entry exists and by compiling (and memoizing) otherwise. The double
+// ValidFor check is belt and braces: the key's fingerprint already implies
+// validity, but a fingerprint collision across epochs is excluded by the
+// epoch and within an epoch by the monotone generation, so the check only
+// guards the invariant cheaply.
+func (s *Study) compiledPlan(e *analysis.Expr, f *analysis.Frame, epoch uint64, key string) (*analysis.Plan, error) {
+	pk := planKey{epoch: epoch, fingerprint: f.Fingerprint(), query: key}
+	s.planMu.Lock()
+	if p, ok := s.planMemo[pk]; ok && p.ValidFor(f) {
+		s.planMu.Unlock()
+		return p, nil
+	}
+	s.planMu.Unlock()
+	// Compile outside the lock: plans are immutable and a racing duplicate
+	// compile of the same key is only wasted work, never wrong.
+	p, err := analysis.Compile(e, f)
+	if err != nil {
+		return nil, err
+	}
+	s.planCompiles.Add(1)
+	s.planMu.Lock()
+	if _, dup := s.planMemo[pk]; !dup {
+		if s.planMemo == nil {
+			s.planMemo = make(map[planKey]*analysis.Plan)
+		}
+		for len(s.planOrder) >= maxPlanMemoEntries {
+			delete(s.planMemo, s.planOrder[0])
+			s.planOrder = s.planOrder[1:]
+		}
+		s.planMemo[pk] = p
+		s.planOrder = append(s.planOrder, pk)
+	}
+	s.planMu.Unlock()
+	return p, nil
+}
+
+// PlanCompiles reports how many times a query actually compiled (plan-memo
+// misses) — the observability hook the memo tests and benchmarks pin.
+func (s *Study) PlanCompiles() uint64 { return s.planCompiles.Load() }
 
 // Scalars returns the passive and fingerprint scalar findings. Both halves
 // are computed under one shared lock acquisition, so a live report never

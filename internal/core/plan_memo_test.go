@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tlsage/internal/notary"
+	"tlsage/internal/registry"
+	"tlsage/internal/timeline"
+)
+
+// memoShard builds a small shard against s so MergeShard can move the
+// study's generation between queries.
+func memoShard(s *Study, seed uint64) *notary.Aggregate {
+	shard := s.NewShard()
+	shard.UpdateMonth(timeline.M(2013, time.April), 10+seed, func(ms *notary.MonthStats) {
+		ms.Total += int(10 + seed)
+		ms.Established += int(6 + seed)
+		ms.ByVersion[registry.VersionTLS12] += int(3 + seed)
+	})
+	return shard
+}
+
+// TestPlanMemo pins the compiled-plan memo: at a fixed generation, repeated
+// queries compile once per distinct canonical text; after ingest moves the
+// generation, the same text compiles once more against the new frame.
+func TestPlanMemo(t *testing.T) {
+	s := NewLiveStudy()
+	if err := s.MergeShard(memoShard(s, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "pct(version:tls12 / established)"
+	want, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles after first query = %d, want 1", got)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Series.Points) != len(want.Series.Points) {
+			t.Fatalf("memoized query changed shape: %d points, want %d",
+				len(res.Series.Points), len(want.Series.Points))
+		}
+	}
+	if got := s.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles after repeated identical queries = %d, want 1", got)
+	}
+
+	// Textual variants normalize to the same canonical key.
+	if _, err := s.Query("pct( version:tls12 / established )"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles after whitespace variant = %d, want 1 (canonical key missed)", got)
+	}
+
+	// A distinct query compiles its own plan.
+	if _, err := s.Query("count(established)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlanCompiles(); got != 2 {
+		t.Fatalf("PlanCompiles after second distinct query = %d, want 2", got)
+	}
+
+	// Ingest moves the generation: the memoized plan is bound to the old
+	// frame's columns, so the same text must recompile exactly once.
+	if err := s.MergeShard(memoShard(s, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.PlanCompiles(); got != 3 {
+		t.Fatalf("PlanCompiles after generation moved = %d, want 3", got)
+	}
+
+	// The recompiled plan answers correctly for the merged content: both
+	// shards contribute to the month the queries aggregate.
+	res, err := s.Query("count(total)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != float64(10+1+10+2) {
+		t.Fatalf("count(total) after second shard = %v, want %v", res.Value, 10+1+10+2)
+	}
+}
+
+// BenchmarkPlanMemoHit measures the memoized query path at a fixed
+// generation — parse + memo lookup + evaluate, no analysis.Compile. The
+// compiles metric stays at 1 no matter how many iterations run.
+func BenchmarkPlanMemoHit(b *testing.B) {
+	s := NewStudy(80)
+	if err := s.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+	const q = "pct(version:tls12 / established)"
+	if _, err := s.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.PlanCompiles()), "compiles")
+}

@@ -188,6 +188,19 @@ func (s *ScanSweep) RunReports(ctx context.Context) ([]timeline.Month, []*Campai
 //
 // so e.g. pct(version:ssl3 / total) reproduces SSL3SupportPct month by month.
 func NewScanStudy(months []timeline.Month, reports []*CampaignReport) (*Study, error) {
+	agg, err := ScanAggregate(months, reports)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{agg: agg, db: fingerprint.BuildDefault()}, nil
+}
+
+// ScanAggregate folds per-month scan campaign reports into a bare aggregate
+// — the NewScanStudy counter mapping without the study wrapper. This is the
+// federation form: an externally-run campaign encodes the aggregate into a
+// delta frame and POSTs it to a core's /merge endpoint, which hosts the
+// months without rebuilding the sweep locally.
+func ScanAggregate(months []timeline.Month, reports []*CampaignReport) (*notary.Aggregate, error) {
 	if len(months) != len(reports) {
 		return nil, fmt.Errorf("core: %d months but %d reports", len(months), len(reports))
 	}
@@ -208,7 +221,7 @@ func NewScanStudy(months []timeline.Month, reports []*CampaignReport) (*Study, e
 			ms.HeartbeatAckN += rep.VulnerableHosts
 		})
 	}
-	return &Study{agg: agg, db: fingerprint.BuildDefault()}, nil
+	return agg, nil
 }
 
 // RenderSweep writes the sweep as an aligned table.

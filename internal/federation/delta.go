@@ -1,0 +1,213 @@
+// Package federation ships merged aggregate deltas between collection
+// tiers: edge collectors near the traffic accumulate records into ordinary
+// notary aggregates and periodically POST the accumulated-but-unshipped
+// slice upstream, where a core node folds it into a hosted study via the
+// same Aggregate.Merge path local ingestion uses. Upstream bandwidth drops
+// from O(records) to O(months×counters), and because Merge is commutative
+// and associative the federated study is byte-identical to a single node
+// ingesting every record itself.
+//
+// The wire format is a delta frame:
+//
+//	offset  size  field
+//	0       4     magic "TLSD"
+//	4       1     version byte (DeltaVersion)
+//	5       4     payload length, uint32 little-endian
+//	9       N     payload (see below)
+//	9+N     4     CRC32-IEEE of the payload, little-endian
+//
+// The payload carries the pushing source's name, the base generation the
+// delta starts after (the exactly-once cursor: this delta covers records
+// base+1..base+Records at the source), the aggregate's snapshot payload
+// version, and the snapshot codec's varint payload of the aggregate itself
+// (notary.AppendAggregatePayload) — so the delta and snapshot formats share
+// one deterministic, fuzz-hardened aggregate encoding.
+//
+// Decoding is defensive in the snapshot/batch codec style: every length is
+// bounds-checked against the bytes present, so arbitrary or corrupted input
+// errors instead of panicking or allocating implausibly (FuzzReadDelta).
+package federation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"tlsage/internal/notary"
+)
+
+// deltaMagic brands delta frames.
+const deltaMagic = "TLSD"
+
+// DeltaVersion is the delta frame version byte written by this build.
+const DeltaVersion = 1
+
+// deltaHeaderLen is magic + version + payload length.
+const deltaHeaderLen = len(deltaMagic) + 1 + 4
+
+// maxDeltaPayload caps the payload length a reader will believe. A delta is
+// O(months×counters) — a few MiB for the multi-year study — so a corrupt
+// length field must not drive a GiB-scale allocation.
+const maxDeltaPayload = 1 << 30
+
+// MaxDeltaSource bounds the source-name length on the wire.
+const MaxDeltaSource = 256
+
+// ContentTypeDelta is the Content-Type a delta frame travels under
+// (POST /merge).
+const ContentTypeDelta = "application/x-tlsage-delta"
+
+// Delta is one shipped slice of a source's aggregate: the contributions of
+// records Base+1 .. Base+Agg.Generation() at that source. The receiver
+// tracks each source's applied-through generation, so a re-sent delta is
+// recognized as a duplicate instead of double-counting.
+type Delta struct {
+	// Source names the pushing collector; the receiver sequences deltas per
+	// source.
+	Source string
+	// Base is the source generation this delta starts after: the sender had
+	// already shipped (and had acknowledged) Base records when it cut this
+	// delta.
+	Base uint64
+	// Agg holds the merged contributions of the delta's records.
+	Agg *notary.Aggregate
+}
+
+// Records is how many source records the delta covers.
+func (d *Delta) Records() uint64 { return d.Agg.Generation() }
+
+// AppendDelta appends the complete framed delta to dst and returns the
+// extended slice. Encoding is deterministic for equal content.
+func AppendDelta(dst []byte, d *Delta) ([]byte, error) {
+	if len(d.Source) > MaxDeltaSource {
+		return nil, fmt.Errorf("federation: source name %d bytes long, max %d", len(d.Source), MaxDeltaSource)
+	}
+	if d.Agg == nil {
+		return nil, fmt.Errorf("federation: delta without an aggregate")
+	}
+	dst = append(dst, deltaMagic...)
+	dst = append(dst, DeltaVersion)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length backfilled below
+	payloadAt := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(d.Source)))
+	dst = append(dst, d.Source...)
+	dst = binary.AppendUvarint(dst, d.Base)
+	dst = append(dst, notary.SnapshotVersion)
+	dst = notary.AppendAggregatePayload(dst, d.Agg)
+	payload := dst[payloadAt:]
+	if len(payload) > maxDeltaPayload {
+		return nil, fmt.Errorf("federation: delta payload %d bytes exceeds the %d cap", len(payload), maxDeltaPayload)
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload)), nil
+}
+
+// EncodeDelta frames d into a fresh buffer.
+func EncodeDelta(d *Delta) ([]byte, error) { return AppendDelta(nil, d) }
+
+// WriteDelta writes the framed delta to w.
+func WriteDelta(w io.Writer, d *Delta) error {
+	buf, err := EncodeDelta(d)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadDelta reads one framed delta from r and decodes it. Truncated,
+// corrupted or version-mismatched input yields an error; the returned delta
+// is nil unless the checksum and every field decoded cleanly.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	var hdr [9]byte // deltaHeaderLen
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("federation: delta header: %w", err)
+	}
+	if string(hdr[:4]) != deltaMagic {
+		return nil, fmt.Errorf("federation: not a delta frame (bad magic %q)", hdr[:4])
+	}
+	if hdr[4] != DeltaVersion {
+		return nil, fmt.Errorf("federation: delta version %d, this build reads %d", hdr[4], DeltaVersion)
+	}
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if n > maxDeltaPayload {
+		return nil, fmt.Errorf("federation: implausible delta payload length %d", n)
+	}
+	// LimitReader + ReadAll grows with the bytes actually present, so a
+	// corrupt length over a short stream fails without a huge up-front
+	// allocation.
+	body, err := io.ReadAll(io.LimitReader(r, int64(n)+4))
+	if err != nil {
+		return nil, fmt.Errorf("federation: delta body: %w", err)
+	}
+	if uint64(len(body)) != uint64(n)+4 {
+		return nil, fmt.Errorf("federation: truncated delta: %d payload+trailer bytes, want %d", len(body), n+4)
+	}
+	payload, trailer := body[:n], body[n:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("federation: delta checksum mismatch (%08x, want %08x)", got, want)
+	}
+	return decodeDeltaPayload(payload)
+}
+
+// DecodeDelta decodes one framed delta from b (exactly one frame; no
+// trailing bytes are tolerated).
+func DecodeDelta(b []byte) (*Delta, error) {
+	r := newSliceReader(b)
+	d, err := ReadDelta(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("federation: %d trailing bytes after delta frame", len(b)-r.off)
+	}
+	return d, nil
+}
+
+// decodeDeltaPayload parses the checksummed payload: source, base,
+// aggregate payload version, aggregate payload.
+func decodeDeltaPayload(payload []byte) (*Delta, error) {
+	srcLen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("federation: delta payload: bad source length varint")
+	}
+	rest := payload[n:]
+	if srcLen > MaxDeltaSource || srcLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("federation: delta payload: source length %d exceeds remaining %d bytes", srcLen, len(rest))
+	}
+	source := string(rest[:srcLen])
+	rest = rest[srcLen:]
+	base, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("federation: delta payload: bad base generation varint")
+	}
+	rest = rest[n:]
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("federation: delta payload: missing aggregate version byte")
+	}
+	agg, err := notary.DecodeAggregatePayload(rest[1:], rest[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Delta{Source: source, Base: base, Agg: agg}, nil
+}
+
+// sliceReader reads a byte slice without the bytes.Reader ReadAll
+// growth-probing, so DecodeDelta sees EOF exactly at the end of b.
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func newSliceReader(b []byte) *sliceReader { return &sliceReader{b: b} }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.off:])
+	s.off += n
+	return n, nil
+}

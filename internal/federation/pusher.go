@@ -1,0 +1,493 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tlsage/internal/notary"
+)
+
+// DefaultPushInterval is how often a Pusher ships its accumulated delta
+// when PusherOptions.Interval is unset.
+const DefaultPushInterval = 5 * time.Second
+
+// MergeAck is the JSON body POST /merge answers with (and the 409/429 error
+// shape). AppliedThrough is the receiver's per-source cursor after the
+// request — on a conflict it tells the sender where to rebase from.
+type MergeAck struct {
+	Records        uint64 `json:"records"`
+	AppliedThrough uint64 `json:"applied_through"`
+	Generation     uint64 `json:"generation"`
+	Duplicate      bool   `json:"duplicate,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// PusherOptions configures an edge Pusher.
+type PusherOptions struct {
+	// Source names this collector on the wire; the upstream sequences deltas
+	// per source. Required.
+	Source string
+	// Upstream is the base URL of the target study (e.g.
+	// "http://core:8080/studies/eu"); "/merge" is appended. Required.
+	Upstream string
+	// Interval is the push cadence; <= 0 means DefaultPushInterval.
+	Interval time.Duration
+	// Shipped seeds the shipped-through generation — on restart, the value
+	// recovered via LoadShippedState, so already-acked records are never
+	// re-shipped.
+	Shipped uint64
+	// Initial seeds the unshipped delta — on restart, the log tail past
+	// Shipped replayed into a fresh shard. Nil starts empty.
+	Initial *notary.Aggregate
+	// StatePath, when set, persists the shipped-through generation there
+	// (atomic tmp+rename) after every acknowledged push. Empty keeps the
+	// cursor in memory only.
+	StatePath string
+	// Rebase, when set, rebuilds the unshipped delta after an upstream
+	// overlap conflict (409): it must return the merged contributions of
+	// every local record past generation `from` — typically a replay of the
+	// durable record log's tail. It runs under the pusher's lock with no
+	// other pusher activity; callers must only rely on it when no ingest is
+	// in flight (the restart-recovery scenario), because records parsed but
+	// not yet flushed into the pusher would otherwise be counted twice.
+	Rebase func(from uint64) (*notary.Aggregate, error)
+	// Client is the HTTP client to push with; nil uses http.DefaultClient.
+	Client *http.Client
+	// BaseDelay seeds the failure backoff (default 250ms), doubling per
+	// consecutive failure up to MaxDelay (default 10s); the upstream's
+	// Retry-After raises the floor, full jitter spreads synchronized edges
+	// apart. Mirrors the feed retry discipline.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Rand supplies jitter in [0,1); nil uses math/rand.
+	Rand func() float64
+	// Logf receives push-failure and rebase warnings; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Pusher is the edge half of the federation tier: shards merged into the
+// local study are teed into its pending aggregate (Observe), and on a timer
+// the accumulated-but-unshipped delta is swapped out and POSTed upstream as
+// one frame. Each record's contribution ships exactly once: the
+// shipped-through generation only advances on an upstream ack, and a failed
+// push re-merges the unacked delta into pending (Merge is commutative, so
+// retries never double-count and never lose).
+type Pusher struct {
+	opts PusherOptions
+	url  string
+
+	mu          sync.Mutex
+	pending     *notary.Aggregate // accumulated but not yet acked upstream
+	shipped     uint64            // source generation acked through
+	backoff     time.Duration     // current failure backoff (0 = healthy)
+	nextAllowed time.Time         // timer pushes wait for this after a failure
+	lastErr     error
+	deltas      uint64 // deltas acked upstream
+	errs        uint64 // failed push attempts
+	stateErrs   uint64 // shipped-state persist failures
+	lastPush    time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// PusherStats is the /healthz edge gauge snapshot.
+type PusherStats struct {
+	Source          string
+	Upstream        string
+	ShippedDeltas   uint64
+	ShippedThrough  uint64        // source generation acked upstream
+	RetainedRecords uint64        // records accumulated but not yet acked
+	RetainedBytes   int           // encoded size of the retained delta
+	LastPushAge     time.Duration // -1 when nothing has shipped yet
+	UpstreamErrors  uint64
+	LastError       string
+}
+
+// NewPusher validates opts and starts the push timer. Close stops it and
+// flushes one final time.
+func NewPusher(opts PusherOptions) (*Pusher, error) {
+	if opts.Source == "" {
+		return nil, fmt.Errorf("federation: pusher needs a source name")
+	}
+	if len(opts.Source) > MaxDeltaSource {
+		return nil, fmt.Errorf("federation: source name %d bytes long, max %d", len(opts.Source), MaxDeltaSource)
+	}
+	if opts.Upstream == "" {
+		return nil, fmt.Errorf("federation: pusher needs an upstream URL")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultPushInterval
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 250 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 10 * time.Second
+	}
+	if opts.Rand == nil {
+		opts.Rand = rand.Float64
+	}
+	pending := opts.Initial
+	if pending == nil {
+		pending = notary.NewAggregate()
+	}
+	p := &Pusher{
+		opts:    opts,
+		url:     mergeURL(opts.Upstream),
+		pending: pending,
+		shipped: opts.Shipped,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.run()
+	return p, nil
+}
+
+func mergeURL(upstream string) string {
+	return strings.TrimSuffix(upstream, "/") + "/merge"
+}
+
+func (p *Pusher) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// Observe tees one merged shard into the pending delta. It is the shard
+// observer the service layer calls after every merge into the local study,
+// so the pusher accumulates exactly the records the study accepted.
+func (p *Pusher) Observe(shard *notary.Aggregate) {
+	if shard == nil || shard.Generation() == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.pending.Merge(shard)
+	p.mu.Unlock()
+}
+
+// ShippedThrough reports the source generation acked upstream.
+func (p *Pusher) ShippedThrough() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.shipped
+}
+
+// Stats snapshots the healthz gauges. RetainedBytes encodes the pending
+// delta on demand — healthz polls are rare and the encoding is
+// O(months×counters).
+func (p *Pusher) Stats() PusherStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PusherStats{
+		Source:          p.opts.Source,
+		Upstream:        p.opts.Upstream,
+		ShippedDeltas:   p.deltas,
+		ShippedThrough:  p.shipped,
+		RetainedRecords: p.pending.Generation(),
+		LastPushAge:     -1,
+		UpstreamErrors:  p.errs,
+	}
+	if buf, err := AppendDelta(nil, &Delta{Source: p.opts.Source, Base: p.shipped, Agg: p.pending}); err == nil {
+		st.RetainedBytes = len(buf)
+	}
+	if !p.lastPush.IsZero() {
+		st.LastPushAge = time.Since(p.lastPush)
+	}
+	if p.lastErr != nil {
+		st.LastError = p.lastErr.Error()
+	}
+	return st
+}
+
+// run is the timer loop. Failed pushes are retried on later ticks once the
+// backoff window (nextAllowed) has passed.
+func (p *Pusher) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			_ = p.push(false)
+		}
+	}
+}
+
+// Flush pushes the pending delta now, ignoring the failure-backoff window.
+// A failure leaves the delta retained for the next attempt.
+func (p *Pusher) Flush() error { return p.push(true) }
+
+// Close stops the timer and ships the pending delta one final time. The
+// flush error is returned: a delta the upstream never acked survives only
+// in the edge's durable record log, and the caller should know that.
+func (p *Pusher) Close() error {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+	// A push can succeed and still leave work behind: resolving a 409
+	// replaces the pending delta with the tail rebuilt past the upstream's
+	// cursor. Keep pushing until nothing is pending or an attempt fails —
+	// each successful round either drains the delta or advances the shipped
+	// cursor, so the loop terminates.
+	for {
+		if err := p.push(true); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		drained := p.pending.Generation() == 0
+		p.mu.Unlock()
+		if drained {
+			return nil
+		}
+	}
+}
+
+// push swaps the pending delta for a fresh aggregate and POSTs it. On any
+// failure the taken delta is re-merged with whatever accumulated meanwhile,
+// so no record's contribution is ever dropped or sent twice.
+func (p *Pusher) push(force bool) error {
+	p.mu.Lock()
+	if p.pending.Generation() == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	if !force && time.Now().Before(p.nextAllowed) {
+		p.mu.Unlock()
+		return nil
+	}
+	take := p.pending
+	base := p.shipped
+	p.pending = notary.NewAggregate()
+	p.mu.Unlock()
+
+	buf, err := EncodeDelta(&Delta{Source: p.opts.Source, Base: base, Agg: take})
+	if err != nil {
+		return p.fail(take, err, 0)
+	}
+	status, retryAfter, ack, err := postDelta(p.opts.Client, p.url, buf)
+	if err != nil {
+		return p.fail(take, fmt.Errorf("federation: pushing to %s: %w", p.url, err), 0)
+	}
+	switch {
+	case status == http.StatusOK:
+		p.mu.Lock()
+		p.shipped = base + take.Generation()
+		p.deltas++
+		p.lastPush = time.Now()
+		p.backoff = 0
+		p.nextAllowed = time.Time{}
+		p.lastErr = nil
+		p.persistLocked()
+		p.mu.Unlock()
+		return nil
+	case status == http.StatusTooManyRequests:
+		return p.fail(take, fmt.Errorf("federation: upstream %s is busy (429)", p.url), retryAfter)
+	case status == http.StatusConflict:
+		return p.rebase(take, ack)
+	default:
+		msg := ack.Error
+		if msg == "" {
+			msg = http.StatusText(status)
+		}
+		return p.fail(take, fmt.Errorf("federation: upstream %s replied %d: %s", p.url, status, msg), retryAfter)
+	}
+}
+
+// fail retains the taken delta (re-merged with anything accumulated since
+// the swap) and arms the backoff window. Merge commutes, so the retained
+// content equals what serial accumulation would have produced.
+func (p *Pusher) fail(take *notary.Aggregate, err error, floor time.Duration) error {
+	p.mu.Lock()
+	take.Merge(p.pending)
+	p.pending = take
+	p.errs++
+	p.lastErr = err
+	if p.backoff == 0 {
+		p.backoff = p.opts.BaseDelay
+	} else if p.backoff *= 2; p.backoff > p.opts.MaxDelay {
+		p.backoff = p.opts.MaxDelay
+	}
+	delay := p.backoff
+	if floor > delay {
+		delay = floor
+	}
+	// Full jitter on top of the floor: [delay, 2*delay), capped.
+	delay += time.Duration(p.opts.Rand() * float64(delay))
+	if delay > p.opts.MaxDelay && floor <= p.opts.MaxDelay {
+		delay = p.opts.MaxDelay
+	}
+	p.nextAllowed = time.Now().Add(delay)
+	p.mu.Unlock()
+	p.logf("federation: push failed, retrying in %v: %v", delay.Round(time.Millisecond), err)
+	return err
+}
+
+// rebase resolves an upstream overlap conflict (409): the upstream already
+// applied part of the taken delta — an ack this edge lost, e.g. a crash
+// between the server applying and the client persisting. Re-sending would
+// double-count and dropping would lose the unapplied tail, so the unshipped
+// delta is rebuilt from the record log past the upstream's applied-through
+// cursor via the Rebase hook.
+func (p *Pusher) rebase(take *notary.Aggregate, ack MergeAck) error {
+	conflict := fmt.Errorf("federation: upstream %s already applied through generation %d", p.url, ack.AppliedThrough)
+	if p.opts.Rebase == nil {
+		return p.fail(take, fmt.Errorf("%w and no rebase source is configured", conflict), 0)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rebuilt, err := p.opts.Rebase(ack.AppliedThrough)
+	if err != nil {
+		// Retain under the lock — the fail path without re-locking.
+		take.Merge(p.pending)
+		p.pending = take
+		p.errs++
+		p.lastErr = fmt.Errorf("%w; rebase failed: %v", conflict, err)
+		p.nextAllowed = time.Now().Add(p.opts.BaseDelay)
+		return p.lastErr
+	}
+	if rebuilt == nil {
+		rebuilt = notary.NewAggregate()
+	}
+	// The rebuilt delta replaces both the taken delta and anything observed
+	// since the swap: the rebase source (the durable record log) already
+	// contains every record that has reached Observe.
+	p.logf("federation: rebased on upstream cursor %d: retrying %d records (had %d unacked)",
+		ack.AppliedThrough, rebuilt.Generation(), take.Generation())
+	p.pending = rebuilt
+	p.shipped = ack.AppliedThrough
+	p.backoff = 0
+	p.nextAllowed = time.Time{}
+	p.lastErr = nil
+	p.persistLocked()
+	return nil
+}
+
+// persistLocked writes the shipped-through cursor to StatePath (callers
+// hold p.mu). Failures are counted and logged, never fatal: the cursor is a
+// restart optimization, and a stale one only costs a duplicate push the
+// upstream recognizes.
+func (p *Pusher) persistLocked() {
+	if p.opts.StatePath == "" {
+		return
+	}
+	if err := SaveShippedState(p.opts.StatePath, p.shipped); err != nil {
+		p.stateErrs++
+		p.logf("federation: persisting shipped state: %v", err)
+	}
+}
+
+// --- shipped-state persistence ---
+
+// LoadShippedState reads the shipped-through generation persisted at path.
+// A missing file is generation 0 (nothing acked yet), not an error.
+func LoadShippedState(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("federation: shipped state %s: %w", path, err)
+	}
+	return gen, nil
+}
+
+// SaveShippedState atomically persists the shipped-through generation:
+// write a temp file in the same directory, fsync, rename into place. A
+// crash leaves either the old cursor or the new one, never a torn file.
+func SaveShippedState(path string, gen uint64) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".shipped-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := fmt.Fprintf(tmp, "%d\n", gen); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// --- one-shot push ---
+
+// PushDelta frames d and POSTs it to the study at upstream ("/merge" is
+// appended), returning the server's ack. One shot, no retries — the Pusher
+// adds the timer/backoff discipline; this is the fire-and-forget path for
+// pre-aggregated payloads like externally-run scan campaigns. A nil client
+// uses http.DefaultClient.
+func PushDelta(upstream string, d *Delta, client *http.Client) (MergeAck, error) {
+	buf, err := EncodeDelta(d)
+	if err != nil {
+		return MergeAck{}, err
+	}
+	status, _, ack, err := postDelta(client, mergeURL(upstream), buf)
+	if err != nil {
+		return ack, err
+	}
+	if status != http.StatusOK {
+		msg := ack.Error
+		if msg == "" {
+			msg = http.StatusText(status)
+		}
+		return ack, fmt.Errorf("federation: upstream replied %d: %s", status, msg)
+	}
+	return ack, nil
+}
+
+// postDelta POSTs one encoded frame and parses the MergeAck reply (which
+// may be an error shape on non-200 statuses).
+func postDelta(client *http.Client, url string, frame []byte) (status int, retryAfter time.Duration, ack MergeAck, err error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(url, ContentTypeDelta, bytes.NewReader(frame))
+	if err != nil {
+		return 0, 0, MergeAck{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return resp.StatusCode, 0, MergeAck{}, fmt.Errorf("reading upstream reply: %w", err)
+	}
+	// Tolerate a non-JSON body (proxy error page, wrong port): the caller
+	// still gets the status code; the ack just stays zero.
+	_ = json.Unmarshal(raw, &ack)
+	if secs, aerr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); aerr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, ack, nil
+}

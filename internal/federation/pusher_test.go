@@ -1,0 +1,431 @@
+package federation
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlsage/internal/notary"
+)
+
+// mergeSink is a minimal upstream for pusher tests: it folds accepted
+// deltas into one aggregate and keeps a per-source applied-through cursor
+// with the same duplicate/conflict rules the service's /merge endpoint
+// implements. fail, when set, intercepts a request before anything applies.
+type mergeSink struct {
+	mu      sync.Mutex
+	agg     *notary.Aggregate
+	applied map[string]uint64
+	deltas  int
+	fail    func(n int, w http.ResponseWriter) bool // n is the 1-based request number
+	reqs    int
+}
+
+func newMergeSink() *mergeSink {
+	return &mergeSink{agg: notary.NewAggregate(), applied: make(map[string]uint64)}
+}
+
+func (s *mergeSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqs++
+	if s.fail != nil && s.fail(s.reqs, w) {
+		return
+	}
+	d, err := ReadDelta(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	applied := s.applied[d.Source]
+	ack := MergeAck{AppliedThrough: applied}
+	switch {
+	case d.Base+d.Records() <= applied:
+		ack.Duplicate = true
+	case d.Base < applied:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		writeAck(w, ack)
+		return
+	default:
+		s.agg.Merge(d.Agg)
+		s.deltas++
+		applied = d.Base + d.Records()
+		s.applied[d.Source] = applied
+		ack.Records = d.Records()
+		ack.AppliedThrough = applied
+	}
+	ack.Generation = s.agg.Generation()
+	writeAck(w, ack)
+}
+
+func writeAck(w http.ResponseWriter, ack MergeAck) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"records":` + uitoa(ack.Records) +
+		`,"applied_through":` + uitoa(ack.AppliedThrough) +
+		`,"generation":` + uitoa(ack.Generation) + `}`))
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// testPusher builds a pusher against srv with an hour-long timer so the
+// tests drive every push deterministically through Flush.
+func testPusher(t *testing.T, url string, opts PusherOptions) *Pusher {
+	t.Helper()
+	opts.Source = "edge-test"
+	opts.Upstream = url
+	opts.Interval = time.Hour
+	if opts.Rand == nil {
+		opts.Rand = func() float64 { return 0 }
+	}
+	p, err := NewPusher(opts)
+	if err != nil {
+		t.Fatalf("NewPusher: %v", err)
+	}
+	return p
+}
+
+// TestPusherShipsExactlyOnce: three observed shards over two flushes land
+// upstream exactly once each, the cursor tracking the summed generations.
+func TestPusherShipsExactlyOnce(t *testing.T) {
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+	p := testPusher(t, srv.URL, PusherOptions{})
+
+	want := notary.NewAggregate()
+	for seed := uint64(1); seed <= 2; seed++ {
+		shard := buildAggregate(seed, 6)
+		want.Merge(shard)
+		p.Observe(shard)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	third := buildAggregate(3, 4)
+	want.Merge(third)
+	p.Observe(third)
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := p.ShippedThrough(); got != want.Generation() {
+		t.Fatalf("shipped through %d, want %d", got, want.Generation())
+	}
+	if !reflect.DeepEqual(sink.agg, want) {
+		t.Fatal("upstream aggregate differs from the merged shards")
+	}
+	if sink.deltas != 2 {
+		t.Fatalf("upstream applied %d deltas, want 2", sink.deltas)
+	}
+	st := p.Stats()
+	if st.ShippedDeltas != 2 || st.RetainedRecords != 0 || st.UpstreamErrors != 0 {
+		t.Fatalf("stats %+v: want 2 shipped, 0 retained, 0 errors", st)
+	}
+	if st.LastPushAge < 0 {
+		t.Fatal("LastPushAge still -1 after successful pushes")
+	}
+}
+
+// TestPusherRetainsAcross429: a busy upstream sheds the push; the delta is
+// retained (merged with later arrivals) and the retry applies everything
+// exactly once.
+func TestPusherRetainsAcross429(t *testing.T) {
+	sink := newMergeSink()
+	sink.fail = func(n int, w http.ResponseWriter) bool {
+		if n == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return true
+		}
+		return false
+	}
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+	p := testPusher(t, srv.URL, PusherOptions{BaseDelay: time.Millisecond})
+
+	first := buildAggregate(1, 5)
+	p.Observe(first)
+	if err := p.Flush(); err == nil {
+		t.Fatal("flush against a 429 upstream reported success")
+	}
+	if st := p.Stats(); st.RetainedRecords != first.Generation() || st.UpstreamErrors != 1 {
+		t.Fatalf("after 429: stats %+v, want %d retained and 1 error", st, first.Generation())
+	}
+	second := buildAggregate(2, 3)
+	p.Observe(second)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	want := notary.NewAggregate()
+	want.Merge(first)
+	want.Merge(second)
+	if !reflect.DeepEqual(sink.agg, want) {
+		t.Fatal("upstream aggregate differs after retry (lost or doubled records)")
+	}
+	if p.ShippedThrough() != want.Generation() {
+		t.Fatalf("shipped through %d, want %d", p.ShippedThrough(), want.Generation())
+	}
+	_ = p.Close()
+}
+
+// TestPusherRetainsAcrossTransportError: a dead upstream (connection
+// refused) keeps the delta retained; once the upstream exists the retry
+// ships everything exactly once.
+func TestPusherRetainsAcrossTransportError(t *testing.T) {
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	url := srv.URL
+	srv.Close() // now refuses connections
+
+	p := testPusher(t, url, PusherOptions{BaseDelay: time.Millisecond})
+	shard := buildAggregate(1, 8)
+	p.Observe(shard)
+	if err := p.Flush(); err == nil {
+		t.Fatal("flush against a dead upstream reported success")
+	}
+	if st := p.Stats(); st.RetainedRecords != shard.Generation() {
+		t.Fatalf("retained %d records, want %d", st.RetainedRecords, shard.Generation())
+	}
+	// Revive the upstream on a fresh port and point a new pusher at it with
+	// the retained state — the restart shape, minus the durable log.
+	srv2 := httptest.NewServer(sink)
+	defer srv2.Close()
+	p2 := testPusher(t, srv2.URL, PusherOptions{Initial: retained(p), Shipped: p.ShippedThrough()})
+	if err := p2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !reflect.DeepEqual(sink.agg, shard) {
+		t.Fatal("upstream aggregate differs from the observed shard")
+	}
+	_ = p.Close() // the dead-upstream pusher still holds its delta; expected to fail
+}
+
+// retained extracts the pending delta from a pusher for handoff in tests.
+func retained(p *Pusher) *notary.Aggregate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	take := p.pending
+	p.pending = notary.NewAggregate()
+	return take
+}
+
+// TestPusherDuplicateAck: when the upstream already applied the delta (an
+// ack lost in transit), the re-push is acked as a duplicate and the cursor
+// advances without double-counting.
+func TestPusherDuplicateAck(t *testing.T) {
+	// Apply request 1 but kill its response: the client sees a transport
+	// error after the server applied — the classic lost ack.
+	sink := newMergeSink()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sink.mu.Lock()
+		n := sink.reqs + 1
+		sink.mu.Unlock()
+		if n == 1 {
+			// Apply, then cut the connection instead of replying.
+			sink.ServeHTTP(&discardResponse{}, r)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		sink.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	p := testPusher(t, srv.URL, PusherOptions{BaseDelay: time.Millisecond})
+	shard := buildAggregate(1, 5)
+	p.Observe(shard)
+	if err := p.Flush(); err == nil {
+		t.Fatal("flush with a killed response reported success")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("duplicate re-push: %v", err)
+	}
+	if sink.deltas != 1 {
+		t.Fatalf("upstream applied %d deltas, want 1 (duplicate must not re-apply)", sink.deltas)
+	}
+	if !reflect.DeepEqual(sink.agg, shard) {
+		t.Fatal("upstream aggregate differs (duplicate double-counted)")
+	}
+	if p.ShippedThrough() != shard.Generation() {
+		t.Fatalf("shipped through %d, want %d", p.ShippedThrough(), shard.Generation())
+	}
+	_ = p.Close()
+}
+
+// discardResponse satisfies http.ResponseWriter for the apply-then-kill
+// path.
+type discardResponse struct{ h http.Header }
+
+func (d *discardResponse) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponse) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardResponse) WriteHeader(int)             {}
+
+// TestPusherRebase: a partial overlap (409) rebuilds pending from the
+// Rebase hook past the upstream cursor and the follow-up push carries only
+// the unapplied tail.
+func TestPusherRebase(t *testing.T) {
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+
+	// The upstream has already applied the first 7 records from this source
+	// (a previous life of the edge whose ack never persisted).
+	already := buildAggregate(1, 4)
+	sink.agg.Merge(already)
+	sink.applied["edge-test"] = already.Generation()
+
+	tail := buildAggregate(2, 3)
+	var rebaseFrom uint64
+	p := testPusher(t, srv.URL, PusherOptions{
+		BaseDelay: time.Millisecond,
+		Rebase: func(from uint64) (*notary.Aggregate, error) {
+			rebaseFrom = from
+			// The log replay past `from` yields exactly the unapplied tail.
+			re := notary.NewAggregate()
+			re.Merge(tail)
+			return re, nil
+		},
+	})
+	// The edge believes nothing shipped: its first push overlaps what the
+	// upstream already applied.
+	stale := notary.NewAggregate()
+	stale.Merge(already)
+	stale.Merge(tail)
+	p.Observe(stale)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("rebase flush: %v", err)
+	}
+	if rebaseFrom != already.Generation() {
+		t.Fatalf("rebase hook saw cursor %d, want %d", rebaseFrom, already.Generation())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("post-rebase flush: %v", err)
+	}
+	want := notary.NewAggregate()
+	want.Merge(already)
+	want.Merge(tail)
+	if !reflect.DeepEqual(sink.agg, want) {
+		t.Fatal("upstream aggregate differs after rebase (overlap double-counted or tail lost)")
+	}
+	if p.ShippedThrough() != want.Generation() {
+		t.Fatalf("shipped through %d, want %d", p.ShippedThrough(), want.Generation())
+	}
+	_ = p.Close()
+}
+
+// TestPusherNoRebaseHook: without a rebase source a conflict is a retained
+// failure, not silent data loss.
+func TestPusherNoRebaseHook(t *testing.T) {
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+	sink.applied["edge-test"] = 5
+
+	p := testPusher(t, srv.URL, PusherOptions{BaseDelay: time.Millisecond})
+	shard := buildAggregate(1, 6)
+	p.Observe(shard)
+	err := p.Flush()
+	if err == nil || !strings.Contains(err.Error(), "no rebase source") {
+		t.Fatalf("conflict without rebase hook: err = %v", err)
+	}
+	if st := p.Stats(); st.RetainedRecords != shard.Generation() {
+		t.Fatalf("retained %d records, want %d", st.RetainedRecords, shard.Generation())
+	}
+	_ = p.Close()
+}
+
+// TestShippedState: the cursor file round-trips, a missing file reads as
+// zero, and an acked push persists atomically.
+func TestShippedState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "shipped.gen")
+	if gen, err := LoadShippedState(path); err != nil || gen != 0 {
+		t.Fatalf("missing state file: (%d, %v), want (0, nil)", gen, err)
+	}
+	if err := SaveShippedState(path, 12345); err != nil {
+		t.Fatalf("SaveShippedState: %v", err)
+	}
+	if gen, err := LoadShippedState(path); err != nil || gen != 12345 {
+		t.Fatalf("round trip: (%d, %v), want (12345, nil)", gen, err)
+	}
+	if err := os.WriteFile(path, []byte("not a number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShippedState(path); err == nil {
+		t.Fatal("corrupt state file read without error")
+	}
+
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+	statePath := filepath.Join(dir, "pusher", "shipped.gen")
+	p := testPusher(t, srv.URL, PusherOptions{StatePath: statePath})
+	shard := buildAggregate(1, 5)
+	p.Observe(shard)
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if gen, err := LoadShippedState(statePath); err != nil || gen != shard.Generation() {
+		t.Fatalf("persisted cursor (%d, %v), want (%d, nil)", gen, err, shard.Generation())
+	}
+}
+
+// TestPushDeltaOneShot: the fire-and-forget path used by scan campaigns.
+func TestPushDeltaOneShot(t *testing.T) {
+	sink := newMergeSink()
+	srv := httptest.NewServer(sink)
+	defer srv.Close()
+	agg := buildAggregate(3, 7)
+	ack, err := PushDelta(srv.URL, &Delta{Source: "campaign", Agg: agg}, nil)
+	if err != nil {
+		t.Fatalf("PushDelta: %v", err)
+	}
+	if ack.Records != agg.Generation() || ack.AppliedThrough != agg.Generation() {
+		t.Fatalf("ack %+v, want %d records applied", ack, agg.Generation())
+	}
+	if !reflect.DeepEqual(sink.agg, agg) {
+		t.Fatal("upstream aggregate differs from the pushed campaign")
+	}
+	// Replaying the identical push is an idempotent duplicate: acked, but
+	// nothing applies twice.
+	ack2, err := PushDelta(srv.URL, &Delta{Source: "campaign", Agg: agg}, nil)
+	if err != nil {
+		t.Fatalf("replayed PushDelta: %v", err)
+	}
+	if ack2.Records != 0 || sink.deltas != 1 {
+		t.Fatalf("replay applied %d records over %d deltas, want 0 over 1", ack2.Records, sink.deltas)
+	}
+	if !reflect.DeepEqual(sink.agg, agg) {
+		t.Fatal("replay changed the upstream aggregate")
+	}
+}

@@ -118,6 +118,27 @@ func ReadSnapshot(r io.Reader) (*Aggregate, error) {
 	return decodeSnapshotPayload(payload, version)
 }
 
+// AppendAggregatePayload appends the snapshot codec's bare varint-packed
+// payload of a to dst — no magic, length prefix or checksum trailer. The
+// federation delta frame embeds this payload inside its own framing so the
+// two wire formats share one (deterministic, fuzz-hardened) aggregate
+// encoding instead of nesting complete frames.
+func AppendAggregatePayload(dst []byte, a *Aggregate) []byte {
+	return appendSnapshotPayload(dst, a)
+}
+
+// DecodeAggregatePayload decodes a payload written by AppendAggregatePayload
+// at the given snapshot payload version (SnapshotVersion when encoding with
+// this build). Trailing bytes, corrupt fields and out-of-range versions all
+// error; arbitrary input never panics.
+func DecodeAggregatePayload(b []byte, version byte) (*Aggregate, error) {
+	if version < snapshotMinVersion || version > SnapshotVersion {
+		return nil, fmt.Errorf("notary: aggregate payload version %d, this build reads %d..%d",
+			version, snapshotMinVersion, SnapshotVersion)
+	}
+	return decodeSnapshotPayload(b, version)
+}
+
 // DecodeSnapshot decodes one framed snapshot from b (exactly one frame; no
 // trailing bytes are tolerated).
 func DecodeSnapshot(b []byte) (*Aggregate, error) {

@@ -77,6 +77,9 @@ type mergeQueue struct {
 	// onMerge, when set, runs after every successful merge — the durability
 	// checkpoint hook, same contract as shardIngester.onFlush.
 	onMerge func()
+	// onShard, when set, receives every successfully merged shard — the
+	// federation tee (Server.noteShard as a method value).
+	onShard func(*notary.Aggregate)
 	// gate, when non-nil (tests only), is received from before each merge so
 	// saturation tests can hold the loop deterministically.
 	gate chan struct{}
@@ -92,7 +95,7 @@ type mergeQueue struct {
 	shedFull atomic.Uint64
 }
 
-func newMergeQueue(study *core.Study, bound int, onMerge func(), gate chan struct{}) *mergeQueue {
+func newMergeQueue(study *core.Study, bound int, onMerge func(), onShard func(*notary.Aggregate), gate chan struct{}) *mergeQueue {
 	if bound <= 0 {
 		bound = DefaultQueueBound
 	}
@@ -100,6 +103,7 @@ func newMergeQueue(study *core.Study, bound int, onMerge func(), gate chan struc
 		study:   study,
 		ch:      make(chan queuedShard, bound),
 		onMerge: onMerge,
+		onShard: onShard,
 		gate:    gate,
 	}
 	q.wg.Add(1)
@@ -137,8 +141,13 @@ func (q *mergeQueue) loop() {
 		}
 		if err := q.study.MergeShard(qs.shard); err != nil {
 			qs.st.fail(err)
-		} else if q.onMerge != nil {
-			q.onMerge()
+		} else {
+			if q.onMerge != nil {
+				q.onMerge()
+			}
+			if q.onShard != nil {
+				q.onShard(qs.shard)
+			}
 		}
 		q.merged.Add(1)
 		qs.st.wg.Done()

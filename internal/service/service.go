@@ -57,6 +57,7 @@ import (
 
 	"tlsage/internal/analysis"
 	"tlsage/internal/core"
+	"tlsage/internal/federation"
 	"tlsage/internal/notary"
 )
 
@@ -129,6 +130,14 @@ type Server struct {
 	// study a Router hosts). Held here only for the /healthz gauges — the
 	// lookup itself lives in core.Study.
 	queryCache *analysis.QueryCache
+
+	// Federation: shardObs are run after every shard that merges into the
+	// study (the tee feeding an attached edge pusher and union studies), fed
+	// tracks the core-side POST /merge cursors and union gauges, and pusher
+	// (when WithPusher is configured) is flushed and closed with the server.
+	shardObs []func(*notary.Aggregate)
+	fed      fedState
+	pusher   *federation.Pusher
 
 	// tcpMu guards tcpLns, the raw-TCP listeners Close shuts down; connWG
 	// tracks in-flight TCP ingest handlers so Close can drain them before
@@ -249,10 +258,14 @@ func NewServer(study *core.Study, opts ...Option) *Server {
 		if s.snaps != nil {
 			onMerge = s.snaps.noteProgress
 		}
-		s.queue = newMergeQueue(study, s.queueBound, onMerge, s.queueGate)
+		// noteShard is bound as a method value: observers appended later
+		// (Router.Union, under the assemble-before-serving contract) are still
+		// seen by the merge loop.
+		s.queue = newMergeQueue(study, s.queueBound, onMerge, s.noteShard, s.queueGate)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /merge", s.handleMerge)
 	mux.HandleFunc("GET /figures", s.handleFigures)
 	mux.HandleFunc("GET /figure/{name}", s.handleFigure)
 	mux.HandleFunc("GET /scalars", s.handleScalars)
@@ -295,6 +308,13 @@ func (s *Server) Close() error {
 	}
 	if s.logSink != nil {
 		if err := s.logSink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.pusher != nil {
+		// After the ingest paths drained: the final push covers every shard
+		// the study accepted.
+		if err := s.pusher.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -343,6 +363,7 @@ type ingestStats struct {
 // a part-applied one.
 func (s *Server) ingest(r io.Reader, binary bool) (ingestStats, error) {
 	ing := newShardIngester(s.study, s.flushEvery, s.logSink)
+	ing.onShard = s.noteShard
 	if s.queue != nil {
 		ing.queue = s.queue
 		ing.qs = &queueStream{}
@@ -398,6 +419,10 @@ type shardIngester struct {
 	// onFlush, when set, runs after every successful merge into the live
 	// study — the durability checkpoint hook (inline-merge mode only).
 	onFlush func()
+	// onShard, when set, receives every successfully merged shard — the
+	// federation tee. On the queue path the merge loop owns this hook
+	// instead, so it fires only once per shard either way.
+	onShard func(*notary.Aggregate)
 	// queue/qs, when set, switch flush from inline MergeShard to enqueueing
 	// on the server's bounded merge queue under this stream's tracker.
 	queue *mergeQueue
@@ -453,6 +478,9 @@ func (si *shardIngester) flush() error {
 		}
 		if si.onFlush != nil {
 			si.onFlush()
+		}
+		if si.onShard != nil {
+			si.onShard(si.shard)
 		}
 	}
 	si.shard = si.study.NewShard()
@@ -736,6 +764,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Gauges are cache-wide: with a Router-shared cache every study
 		// reports the same numbers, which is what capacity planning wants.
 		health["query_cache"] = s.queryCache.Stats()
+	}
+	// Federation gauges: the edge block reports the attached pusher (deltas
+	// shipped, retained-but-unshipped state, last push age, upstream errors),
+	// the core block the per-source merge cursors and union children. A
+	// server that is neither an edge nor a merge target omits the key.
+	fedBlock := map[string]any{}
+	if s.pusher != nil {
+		fedBlock["edge"] = federationEdgeHealth(s.pusher.Stats())
+	}
+	if coreBlock := s.fed.health(); coreBlock != nil {
+		fedBlock["core"] = coreBlock
+	}
+	if len(fedBlock) > 0 {
+		health["federation"] = fedBlock
 	}
 	// fp: family gauges, off the study's cached frame (rebuilt only when the
 	// generation moved): distinct fingerprints seen, the per-frame column cap,
